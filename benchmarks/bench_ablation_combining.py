@@ -1,0 +1,38 @@
+"""Ablation: cluster-level combining policy for RA.
+
+Sweeps the combiner's flush threshold.  Small batches approach the
+uncombined original (per-message WAN overhead dominates); very large
+batches delay the dependency wavefront (the paper notes that for very
+large databases "the extra cluster combining overhead even defeats the
+gains").
+"""
+
+from conftest import emit, run_once
+
+from repro.apps.ra import RAApp, RAParams
+from repro.harness import run_app
+
+BATCHES = (4, 16, 64, 256)
+
+
+def test_ablation_ra_combining_batch(benchmark):
+    def run():
+        base = RAParams.paper().with_(n_positions=8000)
+        out = {"original": run_app(RAApp(), "original", 4, 15, base).elapsed}
+        for batch in BATCHES:
+            params = base.with_(combine_max_messages=batch,
+                                combine_max_bytes=batch * 64)
+            out[batch] = run_app(RAApp(), "optimized", 4, 15, params).elapsed
+        return out
+
+    data = run_once(benchmark, run)
+    lines = ["Ablation: RA (4x15) combining flush threshold",
+             f"{'batch':>10} {'elapsed(s)':>11}"]
+    lines.append(f"{'(none)':>10} {data['original']:>11.3f}")
+    for batch in BATCHES:
+        lines.append(f"{batch:>10} {data[batch]:>11.3f}")
+    emit("ablation_combining", "\n".join(lines))
+
+    best = min(data[b] for b in BATCHES)
+    assert best < data["original"]          # combining helps at its best
+    assert data[64] <= data[4] * 1.05       # bigger batches beat tiny ones

@@ -1,0 +1,46 @@
+"""Ablation: gateway forwarding cost vs broadcast-heavy applications.
+
+ACP "performs many small broadcasts, causing much traffic for cluster
+gateways" (Section 4.7).  Sweeping the per-message gateway cost isolates
+the store-and-forward overhead from wire latency/bandwidth, and shows the
+asynchronous-broadcast extension growing more valuable as gateways slow.
+"""
+
+from dataclasses import replace
+
+from conftest import emit, run_once
+
+from repro.apps.acp import ACPApp, ACPParams
+from repro.harness import run_app
+from repro.network import DAS_PARAMS, GatewayParams
+
+COSTS_US = (50, 150, 450)
+
+
+def test_ablation_acp_gateway_cost(benchmark):
+    def run():
+        out = {}
+        params = ACPParams.paper().with_(n_vars=400, n_constraints=1200)
+        for cost_us in COSTS_US:
+            network = replace(
+                DAS_PARAMS,
+                gateway=GatewayParams(forward_cost=cost_us * 1e-6))
+            for variant in ("original", "optimized"):
+                res = run_app(ACPApp(), variant, 4, 8, params,
+                              network=network)
+                out[(cost_us, variant)] = res.elapsed
+        return out
+
+    data = run_once(benchmark, run)
+    lines = ["Ablation: ACP (4x8) vs gateway forwarding cost",
+             f"{'fwd cost(us)':>13} {'original(s)':>12} {'async-bcast(s)':>15}"]
+    for cost_us in COSTS_US:
+        lines.append(f"{cost_us:>13} {data[(cost_us, 'original')]:>12.3f} "
+                     f"{data[(cost_us, 'optimized')]:>15.3f}")
+    emit("ablation_gateway", "\n".join(lines))
+
+    # Slower gateways slow broadcast-heavy ACP.
+    assert data[(450, "original")] > data[(50, "original")]
+    # The asynchronous-broadcast extension helps at every setting.
+    for cost_us in COSTS_US:
+        assert data[(cost_us, "optimized")] < data[(cost_us, "original")]

@@ -1,0 +1,34 @@
+"""Ablation: sequencer protocol for ASP's phased broadcasts.
+
+DESIGN.md calls out the ordering protocol as the design choice behind
+Figures 5/6.  This sweep runs ASP on 4x15 under all three protocols:
+centralized (Section 2's "major performance problem"), distributed
+per-cluster (the system default), and migrating (the ASP optimization).
+"""
+
+from conftest import emit, run_once
+
+from repro.apps.asp import ASPApp
+from repro.harness import bench_params, run_app
+
+PROTOCOLS = ("centralized", "distributed", "migrating")
+
+
+def test_ablation_asp_sequencer_protocols(benchmark):
+    def run():
+        params = bench_params("asp")
+        return {kind: run_app(ASPApp(), "original", 4, 15, params,
+                              sequencer=kind).elapsed
+                for kind in PROTOCOLS}
+
+    data = run_once(benchmark, run)
+    lines = ["Ablation: ASP (4x15) under each sequencer protocol",
+             f"{'protocol':>12} {'elapsed(s)':>11}"]
+    for kind in PROTOCOLS:
+        lines.append(f"{kind:>12} {data[kind]:>11.3f}")
+    emit("ablation_sequencer", "\n".join(lines))
+
+    # Migrating beats distributed beats centralized for phased broadcasts.
+    assert data["migrating"] < data["distributed"]
+    assert data["distributed"] < data["centralized"] * 1.05
+    assert data["migrating"] < 0.8 * data["centralized"]

@@ -1,0 +1,44 @@
+"""Ablation: IDA* work-stealing policy across WAN qualities.
+
+The paper found the steal optimizations barely move the speedup at DAS
+settings ("may still be of use for finer grain applications ... or
+slower networks").  This sweep crosses the victim-order policy with the
+WAN quality and with a finer grain to show where local-first stealing
+starts paying off.
+"""
+
+from conftest import emit, run_once
+
+from repro.apps.ida import IDAApp, IDAParams
+from repro.harness import run_app
+from repro.network import DAS_PARAMS, SLOW_WAN_PARAMS
+
+
+def test_ablation_ida_steal_policy(benchmark):
+    def run():
+        out = {}
+        # Finer grain + more imbalance than the headline runs.
+        params = IDAParams.paper().with_(
+            synth_base_nodes=100.0, synth_sigma=1.3, synth_iterations=3)
+        for net_label, network in (("das", DAS_PARAMS),
+                                   ("slow", SLOW_WAN_PARAMS)):
+            for variant in ("original", "optimized"):
+                res = run_app(IDAApp(), variant, 4, 15, params,
+                              network=network)
+                out[(net_label, variant)] = (res.elapsed,
+                                             res.stats["remote"])
+        return out
+
+    data = run_once(benchmark, run)
+    lines = ["Ablation: IDA* (4x15) steal policy x WAN quality",
+             f"{'network':>8} {'policy':>10} {'elapsed(s)':>11} "
+             f"{'remote steals':>14}"]
+    for (net, variant), (el, remote) in data.items():
+        lines.append(f"{net:>8} {variant:>10} {el:>11.3f} {remote:>14}")
+    emit("ablation_steal", "\n".join(lines))
+
+    # Local-first stealing always reduces remote steal traffic...
+    assert data[("das", "optimized")][1] <= data[("das", "original")][1]
+    assert data[("slow", "optimized")][1] <= data[("slow", "original")][1]
+    # ...and on the slow network that shows up in the run time too.
+    assert data[("slow", "optimized")][0] <= data[("slow", "original")][0] * 1.02

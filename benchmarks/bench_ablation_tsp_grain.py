@@ -1,0 +1,44 @@
+"""Ablation: TSP job grain under the static per-cluster distribution.
+
+The paper: "the resulting increase in load imbalance can be reduced by
+choosing a smaller grain of work, at the expense of increasing
+intracluster communication overhead".  Sweeping the master's expansion
+depth changes the job count (16x15 = 240 at depth 2, 3360 at depth 3)
+and hence the grain.
+"""
+
+from conftest import emit, run_once
+
+from repro.apps.tsp import TSPApp, TSPParams
+from repro.apps.tsp import problem
+from repro.harness import run_app
+
+DEPTHS = (2, 3)
+
+
+def test_ablation_tsp_job_grain(benchmark):
+    def run():
+        out = {}
+        for depth in DEPTHS:
+            # Hold total work fixed: fewer jobs -> proportionally bigger.
+            scale = {2: 14.0, 3: 1.0}[depth]
+            params = TSPParams.paper().with_(
+                job_depth=depth, synth_mean_nodes=2000.0 * scale)
+            res = run_app(TSPApp(), "optimized", 4, 15, params)
+            out[depth] = (len(problem.generate_jobs(params)), res.elapsed,
+                          res.stats["max_jobs_per_node"],
+                          res.traffic["intra.rpc"]["count"])
+        return out
+
+    data = run_once(benchmark, run)
+    lines = ["Ablation: TSP (4x15, static distribution) job grain",
+             f"{'depth':>6} {'#jobs':>7} {'elapsed(s)':>11} "
+             f"{'max jobs/node':>14} {'intra RPCs':>11}"]
+    for depth in DEPTHS:
+        jobs, el, mx, rpcs = data[depth]
+        lines.append(f"{depth:>6} {jobs:>7} {el:>11.3f} {mx:>14} {rpcs:>11}")
+    emit("ablation_tsp_grain", "\n".join(lines))
+
+    # Finer grain: more RPCs, better balance, faster overall finish.
+    assert data[3][3] > data[2][3]
+    assert data[3][1] < data[2][1]

@@ -1,0 +1,30 @@
+"""Figures 1 and 2: Water speedup, original and optimized.
+
+Paper shape: the original suffers badly on multiple clusters (the
+all-to-all exchange crosses the WAN); the cluster-cache optimization
+brings four 15-node clusters close to the single 60-node cluster.
+"""
+
+from conftest import emit, run_once
+
+from repro.harness import figure_curves, format_curves
+
+
+def _final(curves, n_clusters):
+    return curves[n_clusters][-1].speedup
+
+
+def test_fig1_water_original(benchmark, cpu_counts):
+    curves = run_once(
+        benchmark, lambda: figure_curves("fig1", cpu_counts=cpu_counts))
+    emit("fig1_water_original", format_curves("fig1", curves))
+    one, four = _final(curves, 1), _final(curves, 4)
+    assert four < 0.7 * one  # multicluster hurts the original badly
+
+
+def test_fig2_water_optimized(benchmark, cpu_counts):
+    curves = run_once(
+        benchmark, lambda: figure_curves("fig2", cpu_counts=cpu_counts))
+    emit("fig2_water_optimized", format_curves("fig2", curves))
+    one, four = _final(curves, 1), _final(curves, 4)
+    assert four > 0.6 * one  # optimized approaches the single-cluster bound

@@ -1,0 +1,31 @@
+"""Figures 5 and 6: ASP speedup, original and optimized.
+
+Paper shape: the original's per-iteration broadcast waits for the
+distributed sequencer's WAN turn, collapsing multicluster performance;
+migrating the sequencer to the broadcasting cluster pipelines
+computation with WAN dissemination and recovers most of it.
+"""
+
+from conftest import emit, run_once
+
+from repro.harness import figure_curves, format_curves
+
+
+def _final(curves, n_clusters):
+    return curves[n_clusters][-1].speedup
+
+
+def test_fig5_asp_original(benchmark, cpu_counts):
+    curves = run_once(
+        benchmark, lambda: figure_curves("fig5", cpu_counts=cpu_counts))
+    emit("fig5_asp_original", format_curves("fig5", curves))
+    one, four = _final(curves, 1), _final(curves, 4)
+    assert four < 0.65 * one
+
+
+def test_fig6_asp_optimized(benchmark, cpu_counts):
+    curves = run_once(
+        benchmark, lambda: figure_curves("fig6", cpu_counts=cpu_counts))
+    emit("fig6_asp_optimized", format_curves("fig6", curves))
+    one, four = _final(curves, 1), _final(curves, 4)
+    assert four > 0.6 * one

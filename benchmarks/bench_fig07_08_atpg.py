@@ -1,0 +1,31 @@
+"""Figures 7 and 8: ATPG speedup, original and optimized.
+
+Paper shape: ATPG communicates little, so even the original stays close
+to the upper bound on multiple clusters; at DAS settings the
+cluster-level reduction "did not significantly improve" the speedups
+(its value shows on slower networks — see bench_sensitivity).
+"""
+
+from conftest import emit, run_once
+
+from repro.harness import figure_curves, format_curves
+
+
+def _final(curves, n_clusters):
+    return curves[n_clusters][-1].speedup
+
+
+def test_fig7_atpg_original(benchmark, cpu_counts):
+    curves = run_once(
+        benchmark, lambda: figure_curves("fig7", cpu_counts=cpu_counts))
+    emit("fig7_atpg_original", format_curves("fig7", curves))
+    one, four = _final(curves, 1), _final(curves, 4)
+    assert four > 0.55 * one  # efficiency decreases only modestly
+
+
+def test_fig8_atpg_optimized(benchmark, cpu_counts):
+    curves = run_once(
+        benchmark, lambda: figure_curves("fig8", cpu_counts=cpu_counts))
+    emit("fig8_atpg_optimized", format_curves("fig8", curves))
+    one, four = _final(curves, 1), _final(curves, 4)
+    assert four > 0.8 * one

@@ -1,0 +1,32 @@
+"""Figures 9 and 10: RA speedup, original and optimized.
+
+Paper shape: RA's irregular fine-grain updates make the multicluster
+original slower than a single 15-node cluster (speedup below 1 relative
+to it); cluster-level message combining roughly doubles performance but
+RA remains unsuitable for the wide-area system.
+"""
+
+from conftest import emit, run_once
+
+from repro.harness import figure_curves, format_curves
+
+
+def _final(curves, n_clusters):
+    return curves[n_clusters][-1].speedup
+
+
+def test_fig9_ra_original(benchmark, cpu_counts):
+    curves = run_once(
+        benchmark, lambda: figure_curves("fig9", cpu_counts=cpu_counts))
+    emit("fig9_ra_original", format_curves("fig9", curves))
+    one, four = _final(curves, 1), _final(curves, 4)
+    assert four < 0.3 * one  # dramatic collapse on the WAN
+
+
+def test_fig10_ra_optimized(benchmark, cpu_counts):
+    curves = run_once(
+        benchmark, lambda: figure_curves("fig10", cpu_counts=cpu_counts))
+    emit("fig10_ra_optimized", format_curves("fig10", curves))
+    one, four = _final(curves, 1), _final(curves, 4)
+    # Improved by combining, but still well below the single cluster.
+    assert four < 0.8 * one

@@ -1,0 +1,36 @@
+"""Figures 13 and 14: SOR speedup, original and optimized (chaotic).
+
+Paper shape: the original blocks in an intercluster RPC at the start of
+every iteration; dropping 2 of 3 intercluster row exchanges makes four
+15-node clusters faster than one 15-node cluster.
+"""
+
+from conftest import emit, run_once
+
+from repro.apps.sor import SORApp, SORParams
+from repro.harness import figure_curves, format_curves, run_app
+
+
+def _final(curves, n_clusters):
+    return curves[n_clusters][-1].speedup
+
+
+def test_fig13_sor_original(benchmark, cpu_counts):
+    curves = run_once(
+        benchmark, lambda: figure_curves("fig13", cpu_counts=cpu_counts))
+    emit("fig13_sor_original", format_curves("fig13", curves))
+    one, four = _final(curves, 1), _final(curves, 4)
+    assert four < 0.5 * one
+
+
+def test_fig14_sor_optimized(benchmark, cpu_counts):
+    curves = run_once(
+        benchmark, lambda: figure_curves("fig14", cpu_counts=cpu_counts))
+    emit("fig14_sor_optimized", format_curves("fig14", curves))
+    four = _final(curves, 4)
+
+    # The paper's headline: 4x15 optimized beats one 15-node cluster.
+    params = SORParams.paper()
+    base = run_app(SORApp(), "original", 1, 1, params)
+    lower = run_app(SORApp(), "original", 1, 15, params)
+    assert four > base.elapsed / lower.elapsed

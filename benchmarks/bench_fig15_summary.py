@@ -1,0 +1,51 @@
+"""Figure 15: the four-cluster summary — per application: lower bound
+(original on one 15-node cluster), original and optimized on four
+15-node clusters, upper bound (optimized on one 60-node cluster).
+
+Paper shape assertions:
+* five of the original programs run faster on four clusters than on one
+  (Water, TSP, ATPG, IDA* in our model; RA/ACP/SOR/ASP degrade);
+* the optimizations lift Water/TSP/SOR/ASP substantially ("average
+  speedup increase of 85 percent" over the five improved apps);
+* RA stays below the lower bound even optimized.
+"""
+
+from conftest import emit, run_once
+
+from repro.apps import PAPER_ORDER
+from repro.harness import figure15_bars, format_bars
+
+
+def test_fig15_four_cluster_summary(benchmark):
+    def run():
+        return {name: figure15_bars(name) for name in PAPER_ORDER}
+
+    bars = run_once(benchmark, run)
+    emit("fig15_summary",
+         format_bars("Figure 15: four-cluster performance improvements",
+                     bars))
+
+    # Applications that beat their lower bound even unoptimized.
+    above = {name for name, b in bars.items()
+             if b["original_60_4"] > b["lower_bound_15_1"]}
+    assert {"atpg", "ida"} <= above
+    assert "ra" not in above and "acp" not in above
+
+    # The optimizations substantially improve the restructured apps.
+    gains = {name: bars[name]["optimized_60_4"] / bars[name]["original_60_4"]
+             for name in ("water", "tsp", "sor", "asp", "ra")}
+    assert all(g > 1.15 for g in gains.values()), gains
+    avg_gain = sum(gains.values()) / len(gains) - 1.0
+    assert avg_gain > 0.4  # paper: average speedup increase of 85%
+
+    # Optimized Water/TSP come close to the upper bound.
+    for name in ("water", "tsp"):
+        b = bars[name]
+        assert b["optimized_60_4"] > 0.7 * b["upper_bound_60_1"]
+
+    # RA remains unsuitable for the wide-area system.
+    b = bars["ra"]
+    assert b["optimized_60_4"] < b["lower_bound_15_1"]
+    # SOR optimized: four 15-node clusters beat one 15-node cluster.
+    b = bars["sor"]
+    assert b["optimized_60_4"] > b["lower_bound_15_1"]

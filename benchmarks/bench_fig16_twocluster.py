@@ -1,0 +1,37 @@
+"""Figure 16: the two-cluster study (Delft + VU Amsterdam): original on
+one 16-node cluster, original and optimized on 2 x 16, optimized on one
+32-node cluster.
+
+Paper shape: "On two clusters, performance is generally closer to the
+upper bound" than in the four-cluster experiment.
+"""
+
+from conftest import emit, run_once
+
+from repro.apps import PAPER_ORDER
+from repro.harness import figure15_bars, figure16_bars, format_bars
+
+
+def test_fig16_two_cluster_summary(benchmark):
+    def run():
+        return {name: figure16_bars(name) for name in PAPER_ORDER}
+
+    bars = run_once(benchmark, run)
+    emit("fig16_twocluster",
+         format_bars("Figure 16: two-cluster performance improvements",
+                     bars))
+
+    for name in ("water", "tsp", "atpg", "ida", "sor", "asp"):
+        b = bars[name]
+        # Optimized on 2x16 lands at or near the 16-node single cluster
+        # (SOR sits right at the boundary in our model: 0.83x; the paper
+        # has it just above).
+        assert b["optimized_32_2"] > 0.8 * b["original_16_1"], (name, b)
+
+    # Two clusters are gentler than four: relative gap to the same-size
+    # single cluster is smaller than in the 4-cluster study for the
+    # WAN-sensitive applications.
+    two = bars["water"]["original_32_2"] / bars["water"]["optimized_32_1"]
+    four_bars = figure15_bars("water")
+    four = four_bars["original_60_4"] / four_bars["upper_bound_60_1"]
+    assert two > four

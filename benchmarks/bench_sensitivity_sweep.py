@@ -1,0 +1,61 @@
+"""Extension: the sensitivity sweep the paper names as future work.
+
+"Performance was found to be quite sensitive to problem size, number of
+processors, number of clusters, and latency and bandwidth. ... further
+sensitivity analysis is part of our future work."
+
+This sweep varies WAN bandwidth and latency independently and locates,
+for Water, the *crossover*: the WAN quality at which running the
+optimized program on four remote clusters stops beating one local
+cluster (the paper's minimum-acceptability criterion).
+"""
+
+from conftest import emit, run_once
+
+from repro.apps.water import WaterApp, WaterParams
+from repro.harness import run_app
+from repro.network import ATM_DAS, DAS_PARAMS, mbit
+
+BANDWIDTHS_MBIT = (1.0, 2.0, 4.53, 10.0, 45.0)
+LATENCIES_MS = (0.5, 1.0, 2.7, 10.0)
+
+
+def test_wan_sensitivity_crossover_water(benchmark):
+    def run():
+        params = WaterParams.paper().with_(n_molecules=1024)
+        local = run_app(WaterApp(), "original", 1, 15, params).elapsed
+        grid = {}
+        for bw in BANDWIDTHS_MBIT:
+            for lat_ms in LATENCIES_MS:
+                wan = ATM_DAS.with_(bandwidth=mbit(bw),
+                                    latency=lat_ms * 1e-3 / 2)
+                network = DAS_PARAMS.with_wan(wan)
+                wide = run_app(WaterApp(), "optimized", 4, 15, params,
+                               network=network).elapsed
+                grid[(bw, lat_ms)] = wide
+        return local, grid
+
+    local, grid = run_once(benchmark, run)
+    lines = ["Sensitivity sweep: Water optimized on 4x15 vs 1x15 local "
+             f"(local = {local:.3f}s)",
+             f"{'bw (Mbit/s)':>12} " + " ".join(
+                 f"{lat:>9.1f}ms" for lat in LATENCIES_MS)]
+    for bw in BANDWIDTHS_MBIT:
+        cells = " ".join(
+            ("+" if grid[(bw, lat)] < local else "-")
+            + f"{grid[(bw, lat)]:>9.3f}" for lat in LATENCIES_MS)
+        lines.append(f"{bw:>12.2f} {cells}")
+    lines.append("('+' = wide-area run beats one local 15-node cluster)")
+    emit("sensitivity_sweep", "\n".join(lines))
+
+    # Monotone in both axes (up to a few percent of discrete-event noise:
+    # batching boundaries shift when link speeds change).
+    for lat in LATENCIES_MS:
+        col = [grid[(bw, lat)] for bw in BANDWIDTHS_MBIT]
+        assert all(a >= b * 0.93 for a, b in zip(col, col[1:]))
+    for bw in BANDWIDTHS_MBIT:
+        row = [grid[(bw, lat)] for lat in LATENCIES_MS]
+        assert all(a <= b * 1.07 for a, b in zip(row, row[1:]))
+    # At DAS quality the wide-area run wins; at the worst corner it loses.
+    assert grid[(4.53, 2.7)] < local
+    assert grid[(1.0, 10.0)] > local * 0.6

@@ -1,0 +1,27 @@
+"""Table 1: Orca low-level latency and bandwidth, LAN vs WAN.
+
+Paper values: RPC 40 us / 2.7 ms latency, 208 / 4.53 Mbit/s bandwidth;
+broadcast 65 us / 3.0 ms, 248 / 4.53 Mbit/s.
+"""
+
+from conftest import emit, run_once
+
+from repro.harness import format_table1, table1_microbenchmarks
+
+
+def test_table1_low_level_performance(benchmark):
+    data = run_once(benchmark, table1_microbenchmarks)
+    emit("table1", format_table1(data))
+
+    rpc, bc = data["rpc"], data["bcast"]
+    # LAN/WAN gap: almost two orders of magnitude in both dimensions.
+    assert 30 < rpc["wan_latency"] / rpc["lan_latency"] < 120
+    assert 30 < rpc["lan_bandwidth"] / rpc["wan_bandwidth"] < 120
+    # Absolute calibration against the paper, with tolerance.
+    assert 30e-6 < rpc["lan_latency"] < 50e-6
+    assert 2.3e-3 < rpc["wan_latency"] < 3.1e-3
+    assert 150e6 < rpc["lan_bandwidth"] < 260e6
+    assert 3.5e6 < rpc["wan_bandwidth"] < 5.0e6
+    assert 40e-6 < bc["lan_latency"] < 90e-6
+    assert 2.0e-3 < bc["wan_latency"] < 3.5e-3
+    assert 3.5e6 < bc["wan_bandwidth"] < 5.5e6

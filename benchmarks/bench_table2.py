@@ -1,0 +1,42 @@
+"""Table 2: application characteristics on one cluster.
+
+The paper reports, per application on a single 64-node cluster: RPCs/s,
+RPC kbytes/s, broadcasts/s, broadcast kbytes/s, and the speedup.  We use
+60 compute nodes (the experimentation system reserves four machines as
+gateways) and the benchmark-scale problem sizes.
+"""
+
+from conftest import emit, run_once
+
+from repro.apps import PAPER_ORDER
+from repro.harness import format_table2, table2_row
+
+#: The paper's Table 2 speedups on one cluster, for shape comparison.
+PAPER_SPEEDUPS = {
+    "water": 56.5, "tsp": 62.9, "asp": 59.3, "atpg": 50.3,
+    "ida": 62.1, "ra": 25.9, "acp": 37.0, "sor": 46.3,
+}
+
+
+def test_table2_application_characteristics(benchmark):
+    def run():
+        return [table2_row(name) for name in PAPER_ORDER]
+
+    rows = run_once(benchmark, run)
+    emit("table2", format_table2(rows))
+
+    by_app = {r["app"]: r for r in rows}
+    # Every application runs "reasonably efficient" on one cluster
+    # (the paper: efficiencies between 40.5% and 98%) — except RA, whose
+    # communication-bound profile is the paper's own worst case.
+    for name, row in by_app.items():
+        if name == "ra":
+            assert row["speedup"] > 3
+        else:
+            assert row["speedup"] > 0.3 * 60, f"{name}: {row['speedup']}"
+    # RA is the most communication-intensive application, as in the paper.
+    assert by_app["ra"]["rpc_per_s"] == max(
+        r["rpc_per_s"] for r in rows)
+    # ASP and ACP are the broadcast-heavy applications.
+    bcast_heavy = sorted(rows, key=lambda r: -r["bcast_per_s"])[:3]
+    assert {"asp", "acp"} <= {r["app"] for r in bcast_heavy}

@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+the rows it produced (the same rows/series the paper reports), and saves
+them under ``benchmarks/out/`` for EXPERIMENTS.md.
+
+These are simulation experiments, not micro-benchmarks: each is run once
+(``pedantic(rounds=1)``); the virtual-time results are deterministic, so
+repetition would only re-measure the simulator's wall-clock, which is not
+the quantity of interest.
+
+Set ``REPRO_BENCH_SCALE=full`` to sweep every paper CPU count (slower);
+the default "quick" sweep covers 8, 16, 32 and 60 CPUs.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def bench_cpu_counts():
+    from repro.harness import FULL_CPUS, QUICK_CPUS
+    return FULL_CPUS if os.environ.get("REPRO_BENCH_SCALE") == "full" \
+        else QUICK_CPUS
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it for the experiment log."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{text}\n{banner}")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def cpu_counts():
+    return bench_cpu_counts()

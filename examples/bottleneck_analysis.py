@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Bottleneck analysis: *why* does each application behave as it does on
+the wide-area machine?
+
+Runs every paper application (original variant) on four 8-node clusters
+with utilization collection on, and prints which resource saturates —
+CPUs, gateways, WAN PVCs, or none (latency-bound).  The verdicts recover
+the paper's per-application diagnoses:
+
+* ATPG/IDA*: CPU-bound — that is why they tolerate the WAN.
+* RA: gateway-bound — per-message forwarding cost, the combining target.
+* Water/SOR original: latency/WAN-bound — blocking RPC stalls.
+"""
+
+from repro.apps import PAPER_ORDER, make_app
+from repro.harness import bench_params, run_app
+from repro.metrics import format_utilization
+
+
+def main() -> None:
+    print("Bottleneck analysis on 4 clusters x 8 nodes (original variants)")
+    print("=" * 64)
+    for name in PAPER_ORDER:
+        app = make_app(name)
+        params = bench_params(name)
+        res = run_app(app, "original", 4, 8, params, utilization=True)
+        rep = res.utilization
+        print(f"\n{name} (elapsed {res.elapsed:.3f}s)")
+        print("  " + format_utilization(rep).replace("\n", "\n  "))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Writing your own application against the framework.
+
+A downstream user's view: implement a new parallel program (Monte-Carlo
+estimation of pi with a shared work counter), plug it into the
+``Application`` interface, and compare a naive shared-counter design with
+a cluster-level-reduction design on the wide-area machine — the ATPG
+lesson applied to fresh code.
+
+Run: ``python examples/custom_application.py``
+"""
+
+from typing import Any, Dict, Generator
+
+from repro.apps.base import Application
+from repro.core import cluster_reduce
+from repro.harness import run_app
+from repro.orca import Context, ObjectSpec, Operation, OrcaRuntime
+from repro.sim import substream
+
+
+class MonteCarloPi(Application):
+    """Each processor samples points; hit counts are aggregated either by
+    per-batch RPCs to a shared object ("original") or by one cluster-level
+    reduction at the end ("optimized")."""
+
+    name = "mcpi"
+
+    def __init__(self, samples_per_node: int = 200_000,
+                 batch: int = 10_000, sample_cost: float = 0.4e-6):
+        self.samples_per_node = samples_per_node
+        self.batch = batch
+        self.sample_cost = sample_cost
+
+    def register(self, rts: OrcaRuntime, params: Any,
+                 variant: str) -> Dict[str, Any]:
+        def add(state, hits, total):
+            state["hits"] += hits
+            state["total"] += total
+
+        rts.register(ObjectSpec(
+            "pi.stats", lambda: {"hits": 0, "total": 0},
+            {"add": Operation(fn=add, writes=True, arg_bytes=16)},
+            owner=0))
+        return {"result": None}
+
+    def process(self, ctx: Context, params: Any, variant: str,
+                shared: Dict[str, Any]) -> Generator:
+        rng = substream(params or 0, f"mcpi.{ctx.node}")
+        hits = 0
+        done = 0
+        while done < self.samples_per_node:
+            n = min(self.batch, self.samples_per_node - done)
+            xy = rng.random((n, 2))
+            batch_hits = int(((xy ** 2).sum(axis=1) <= 1.0).sum())
+            yield from ctx.compute(n * self.sample_cost)
+            done += n
+            if variant == "original":
+                # Naive: report every batch to the shared object (an RPC
+                # that crosses the WAN from remote clusters).
+                yield from ctx.invoke("pi.stats", "add", batch_hits, n)
+            else:
+                hits += batch_hits
+        if variant == "optimized":
+            total = yield from cluster_reduce(
+                ctx, (hits, done), lambda a, b: (a[0] + b[0], a[1] + b[1]),
+                size=16, root=0, tag="mcpi")
+            if ctx.node == 0:
+                shared["result"] = total
+        return None
+
+    def finalize(self, rts: OrcaRuntime, params: Any, variant: str,
+                 shared: Dict[str, Any]) -> float:
+        if variant == "optimized":
+            hits, total = shared["result"]
+        else:
+            state = rts.state_of("pi.stats")
+            hits, total = state["hits"], state["total"]
+        return 4.0 * hits / total
+
+
+def main() -> None:
+    app = MonteCarloPi()
+    seed = 2026
+    print("Monte-Carlo pi on the wide-area DAS (4 clusters x 8 nodes)")
+    for variant in ("original", "optimized"):
+        res = run_app(app, variant, 4, 8, seed)
+        inter = res.traffic.get("inter.rpc", {"count": 0})["count"]
+        print(f"  {variant:>10}: pi ~= {res.answer:.5f}, "
+              f"elapsed {res.elapsed:.3f}s, intercluster RPCs {inter}")
+    print("\nSame lesson as the paper's ATPG: accumulate locally, reduce "
+          "per cluster, cross the WAN once.")
+
+
+if __name__ == "__main__":
+    main()

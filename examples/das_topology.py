@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""The DAS machine (paper Figure 17) and its link performance (Table 1).
+
+Prints the four-site topology of the Distributed ASCI Supercomputer, then
+measures the Orca-level communication primitives on the simulated machine
+— the numbers behind every experiment in the paper.
+"""
+
+from repro.harness import format_table1, table1_microbenchmarks
+from repro.network import (
+    DAS_PARAMS,
+    INTERNET_PARAMS,
+    das_experimentation,
+    das_real,
+)
+
+
+def main() -> None:
+    print("The Distributed ASCI Supercomputer (Figure 17)")
+    print("-" * 56)
+    topo = das_real()
+    print(topo.describe())
+    print(f"total: {topo.n_nodes} compute nodes + {topo.n_clusters} "
+          f"dedicated gateways, pairwise 6 Mbit/s ATM PVCs\n")
+
+    print("Experimentation system (the split 64-node VU cluster):")
+    topo = das_experimentation(4, 15)
+    print(topo.describe())
+
+    print("\nLow-level Orca performance on the DAS model")
+    print("-" * 56)
+    print(format_table1(table1_microbenchmarks(DAS_PARAMS)))
+    print("\n(paper: RPC 40 us / 2.7 ms and 208 / 4.53 Mbit/s;"
+          "\n broadcast 65 us / 3.0 ms and 248 / 4.53 Mbit/s)")
+
+    print("\nSame benchmark over the ordinary Internet on a quiet Sunday")
+    print("-" * 56)
+    print(format_table1(table1_microbenchmarks(INTERNET_PARAMS)))
+    print("\n(paper: 8 ms latency, 1.8 Mbit/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Wide-area deployment planner: is an application worth running across
+WAN-connected clusters, and which optimization does it need?
+
+For each of the paper's communication patterns this script runs the
+application on one local cluster and on the wide-area machine under three
+WAN qualities (DAS ATM, ordinary Internet, and a slow 10 ms / 2 Mbit/s
+link), then applies the paper's acceptance rule: using additional remote
+clusters must not make the program slower than one local cluster.
+"""
+
+from repro.apps import PAPER_ORDER, make_app
+from repro.core import TABLE3
+from repro.harness import bench_params, run_app
+from repro.network import DAS_PARAMS, INTERNET_PARAMS, SLOW_WAN_PARAMS
+
+#: demo-scale overrides so the full sweep finishes in about a minute.
+QUICK_SCALE = {
+    "asp": dict(n_vertices=300),
+    "water": dict(n_molecules=1024),
+    "ida": dict(synth_iterations=2, synth_jobs=128),
+    "ra": dict(n_positions=6000),
+    "sor": dict(n_iterations=20),
+}
+
+NETWORKS = [("DAS-ATM", DAS_PARAMS), ("Internet", INTERNET_PARAMS),
+            ("slow-WAN", SLOW_WAN_PARAMS)]
+
+
+def verdict(local: float, wide: float) -> str:
+    if wide < 0.8 * local:
+        return "worth it"
+    if wide < local:
+        return "marginal"
+    return "stay local"
+
+
+def main() -> None:
+    print("Wide-area deployment planner: 4 x 8 remote vs 1 x 8 local")
+    print(f"{'app':>6} {'pattern':>28} {'network':>9} {'1x8(s)':>8} "
+          f"{'4x8 orig':>9} {'4x8 opt':>9} {'verdict(opt)':>13}")
+    for name in PAPER_ORDER:
+        app = make_app(name)
+        params = bench_params(name)
+        if name in QUICK_SCALE:
+            params = params.with_(**QUICK_SCALE[name])
+        opt = "optimized" if "optimized" in app.variants else "original"
+        pattern = TABLE3[name].communication
+        for net_label, network in NETWORKS:
+            local = run_app(app, "original", 1, 8, params,
+                            network=network).elapsed
+            wide_orig = run_app(app, "original", 4, 8, params,
+                                network=network).elapsed
+            wide_opt = run_app(app, opt, 4, 8, params,
+                               network=network).elapsed
+            print(f"{name:>6} {pattern[:28]:>28} {net_label:>9} "
+                  f"{local:>8.2f} {wide_orig:>9.2f} {wide_opt:>9.2f} "
+                  f"{verdict(local, wide_opt):>13}")
+        print()
+
+    print("Optimizations applied (paper Table 3):")
+    for name in PAPER_ORDER:
+        row = TABLE3[name]
+        print(f"  {row.app:>6}: {row.improvement}  "
+              f"[{row.family.value}]")
+
+
+if __name__ == "__main__":
+    main()

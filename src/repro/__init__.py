@@ -1,0 +1,25 @@
+"""repro: a reproduction of "Optimizing Parallel Applications for
+Wide-Area Clusters" (Bal, Plaat, Bakker, Dozy, Hofman; IPPS 1998).
+
+The package builds the whole stack the paper rests on:
+
+* :mod:`repro.sim` — deterministic discrete-event engine;
+* :mod:`repro.network` — the multilevel DAS machine model (Myrinet
+  clusters, dedicated gateways, ATM WAN PVCs);
+* :mod:`repro.orca` — an Orca-like runtime (shared objects, RPC,
+  totally-ordered broadcast with pluggable sequencers);
+* :mod:`repro.core` — the wide-area optimization library (the paper's
+  contribution): cluster caching, cluster-level reduction, job-queue
+  reorganizations, message combining, sequencer migration, chaotic
+  relaxation, split-phase latency hiding;
+* :mod:`repro.apps` — the eight applications, original + optimized;
+* :mod:`repro.harness` / :mod:`repro.metrics` — experiment runners and
+  the figure/table registry of the evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from . import apps, core, harness, metrics, network, orca, sim  # noqa: F401
+
+__all__ = ["apps", "core", "harness", "metrics", "network", "orca", "sim",
+           "__version__"]

@@ -1,0 +1,154 @@
+"""Command-line interface: regenerate paper experiments from the shell.
+
+Examples::
+
+    python -m repro list                      # apps, figures, tables
+    python -m repro table 1                   # Table 1 micro-benchmarks
+    python -m repro table 2
+    python -m repro table 4                   # tables 4 & 5 (traffic)
+    python -m repro figure fig5               # one speedup figure
+    python -m repro figure fig15              # the 4-cluster summary
+    python -m repro app water --variant optimized --clusters 4 --nodes 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps import PAPER_ORDER, make_app
+from .harness import (
+    QUICK_CPUS,
+    SPEEDUP_FIGURES,
+    bench_params,
+    figure15_bars,
+    figure16_bars,
+    figure_curves,
+    format_bars,
+    format_curves,
+    format_table1,
+    format_table2,
+    format_traffic,
+    run_app,
+    table1_microbenchmarks,
+    table2_row,
+    traffic_row,
+)
+
+
+def cmd_list(_args) -> int:
+    """List the runnable applications, figures and tables."""
+    print("applications:", ", ".join(PAPER_ORDER))
+    print("figures:", ", ".join(list(SPEEDUP_FIGURES) + ["fig15", "fig16"]))
+    print("tables: 1, 2, 4 (prints 4 and 5)")
+    return 0
+
+
+def cmd_table(args) -> int:
+    """Regenerate one of the paper's tables."""
+    if args.number == 1:
+        print(format_table1(table1_microbenchmarks()))
+    elif args.number == 2:
+        rows = []
+        for name in PAPER_ORDER:
+            print(f"running {name}...", file=sys.stderr)
+            rows.append(table2_row(name))
+        print(format_table2(rows))
+    elif args.number in (4, 5):
+        before, after = [], []
+        for name in PAPER_ORDER:
+            print(f"running {name}...", file=sys.stderr)
+            before.append(traffic_row(name, "original"))
+            after.append(traffic_row(name, "optimized"))
+        print(format_traffic("Table 4: intercluster traffic before "
+                             "optimization (P=60, C=4)", before))
+        print()
+        print(format_traffic("Table 5: intercluster traffic after "
+                             "optimization (P=60, C=4)", after))
+    else:
+        print(f"no such table: {args.number} (choose 1, 2 or 4)",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_figure(args) -> int:
+    """Regenerate one of the paper's figures."""
+    fig = args.figure
+    if fig == "fig15":
+        bars = {}
+        for name in PAPER_ORDER:
+            print(f"running {name}...", file=sys.stderr)
+            bars[name] = figure15_bars(name)
+        print(format_bars("Figure 15: four-cluster performance improvements",
+                          bars))
+    elif fig == "fig16":
+        bars = {}
+        for name in PAPER_ORDER:
+            print(f"running {name}...", file=sys.stderr)
+            bars[name] = figure16_bars(name)
+        print(format_bars("Figure 16: two-cluster performance improvements",
+                          bars))
+    elif fig in SPEEDUP_FIGURES:
+        curves = figure_curves(fig, cpu_counts=tuple(args.cpus))
+        if args.plot:
+            from .harness import ascii_speedup_plot
+            spec = SPEEDUP_FIGURES[fig]
+            print(ascii_speedup_plot(curves, title=spec.caption))
+        else:
+            print(format_curves(fig, curves))
+    else:
+        print(f"no such figure: {fig}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_app(args) -> int:
+    """Run a single application configuration and print its traffic."""
+    app = make_app(args.app)
+    params = bench_params(args.app)
+    res = run_app(app, args.variant, args.clusters, args.nodes, params)
+    print(f"{args.app}/{args.variant} on {args.clusters}x{args.nodes}: "
+          f"{res.elapsed:.4f} virtual seconds")
+    for key, row in sorted(res.traffic.items()):
+        if row["count"]:
+            print(f"  {key:>12}: {row['count']:>8} messages, "
+                  f"{row['bytes'] / 1024:.0f} kbytes")
+    if res.stats:
+        print(f"  stats: {res.stats}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from 'Optimizing Parallel "
+                    "Applications for Wide-Area Clusters'")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list apps, figures, tables")
+
+    p_table = sub.add_parser("table", help="regenerate a table")
+    p_table.add_argument("number", type=int)
+
+    p_fig = sub.add_parser("figure", help="regenerate a figure")
+    p_fig.add_argument("figure")
+    p_fig.add_argument("--cpus", type=int, nargs="+",
+                       default=list(QUICK_CPUS))
+    p_fig.add_argument("--plot", action="store_true",
+                       help="render as an ASCII chart")
+
+    p_app = sub.add_parser("app", help="run one application once")
+    p_app.add_argument("app", choices=PAPER_ORDER)
+    p_app.add_argument("--variant", default="original")
+    p_app.add_argument("--clusters", type=int, default=4)
+    p_app.add_argument("--nodes", type=int, default=15)
+
+    args = parser.parse_args(argv)
+    return {"list": cmd_list, "table": cmd_table,
+            "figure": cmd_figure, "app": cmd_app}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

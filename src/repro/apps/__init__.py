@@ -1,0 +1,16 @@
+"""The eight paper applications."""
+
+from .base import Application, AppResult, KERNEL_REAL, KERNEL_SYNTHETIC
+from .registry import ALL_APPS, PAPER_ORDER, make_app, paper_params, small_params
+
+__all__ = [
+    "Application",
+    "AppResult",
+    "KERNEL_REAL",
+    "KERNEL_SYNTHETIC",
+    "ALL_APPS",
+    "PAPER_ORDER",
+    "make_app",
+    "paper_params",
+    "small_params",
+]

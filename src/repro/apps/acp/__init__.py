@@ -1,0 +1,6 @@
+"""ACP: arc consistency (irregular broadcast pattern)."""
+
+from .app import ACPApp
+from .csp import ACPParams
+
+__all__ = ["ACPApp", "ACPParams"]

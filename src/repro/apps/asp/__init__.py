@@ -1,0 +1,6 @@
+"""ASP: all-pairs shortest paths (regular broadcast pattern)."""
+
+from .app import ASPApp
+from .graph import ASPParams
+
+__all__ = ["ASPApp", "ASPParams"]

@@ -1,0 +1,6 @@
+"""ATPG: automatic test pattern generation (all-to-one accumulator)."""
+
+from .app import ATPGApp
+from .circuit import ATPGParams
+
+__all__ = ["ATPGApp", "ATPGParams"]

@@ -1,0 +1,6 @@
+"""IDA*: iterative deepening A* search with work stealing."""
+
+from .app import IDAApp
+from .puzzle import IDAParams
+
+__all__ = ["IDAApp", "IDAParams"]

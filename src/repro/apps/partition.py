@@ -1,0 +1,33 @@
+"""Shared data-partitioning helpers for the row/block-parallel programs."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["block_slices", "owner_of_index"]
+
+
+def block_slices(n: int, p: int) -> List[Tuple[int, int]]:
+    """Contiguous (start, stop) split of ``n`` items over ``p`` blocks.
+
+    The first ``n % p`` blocks get one extra item, matching the row-wise
+    distribution the paper's data-parallel programs use.
+    """
+    if p < 1 or n < 0:
+        raise ValueError(f"invalid partition: n={n}, p={p}")
+    base, extra = divmod(n, p)
+    out = []
+    start = 0
+    for i in range(p):
+        m = base + (1 if i < extra else 0)
+        out.append((start, start + m))
+        start += m
+    return out
+
+
+def owner_of_index(slices: List[Tuple[int, int]], idx: int) -> int:
+    """The block owning global index ``idx``."""
+    for b, (lo, hi) in enumerate(slices):
+        if lo <= idx < hi:
+            return b
+    raise ValueError(f"index {idx} outside all slices")

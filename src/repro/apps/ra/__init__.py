@@ -1,0 +1,6 @@
+"""RA: retrograde analysis (irregular asynchronous message passing)."""
+
+from .app import RAApp
+from .game import RAParams
+
+__all__ = ["RAApp", "RAParams"]

@@ -1,0 +1,55 @@
+"""Registry of the paper's eight applications with their paper-scale and
+test-scale parameter sets."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from .acp import ACPApp, ACPParams
+from .asp import ASPApp, ASPParams
+from .atpg import ATPGApp, ATPGParams
+from .base import Application
+from .ida import IDAApp, IDAParams
+from .ra import RAApp, RAParams
+from .sor import SORApp, SORParams
+from .tsp import TSPApp, TSPParams
+from .water import WaterApp, WaterParams
+
+__all__ = ["ALL_APPS", "make_app", "paper_params", "small_params",
+           "PAPER_ORDER"]
+
+#: the paper's presentation order (Table 2).
+PAPER_ORDER = ["water", "tsp", "asp", "atpg", "ida", "ra", "acp", "sor"]
+
+ALL_APPS: Dict[str, Tuple[type, type]] = {
+    "water": (WaterApp, WaterParams),
+    "tsp": (TSPApp, TSPParams),
+    "asp": (ASPApp, ASPParams),
+    "atpg": (ATPGApp, ATPGParams),
+    "ida": (IDAApp, IDAParams),
+    "ra": (RAApp, RAParams),
+    "acp": (ACPApp, ACPParams),
+    "sor": (SORApp, SORParams),
+}
+
+
+def make_app(name: str) -> Application:
+    """Instantiate one of the eight paper applications by name."""
+    try:
+        cls, _ = ALL_APPS[name]
+    except KeyError:
+        raise ValueError(f"unknown application {name!r}; "
+                         f"choose from {sorted(ALL_APPS)}") from None
+    return cls()
+
+
+def paper_params(name: str) -> Any:
+    """The paper's problem sizes for ``name`` (Sections 3/4)."""
+    _, params_cls = ALL_APPS[name]
+    return params_cls.paper()
+
+
+def small_params(name: str) -> Any:
+    """Test-sized parameters with the real (verifiable) kernel."""
+    _, params_cls = ALL_APPS[name]
+    return params_cls.small()

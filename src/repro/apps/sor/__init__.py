@@ -1,0 +1,6 @@
+"""SOR: red/black successive overrelaxation (nearest-neighbour pattern)."""
+
+from .app import SORApp
+from .grid import SORParams
+
+__all__ = ["SORApp", "SORParams"]

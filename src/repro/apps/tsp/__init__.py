@@ -1,0 +1,6 @@
+"""TSP: branch-and-bound with a dynamic-load-balancing job queue."""
+
+from .app import TSPApp
+from .problem import TSPParams
+
+__all__ = ["TSPApp", "TSPParams"]

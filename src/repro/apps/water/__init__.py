@@ -1,0 +1,6 @@
+"""Water: n-squared n-body simulation (all-to-all exchange pattern)."""
+
+from .app import WaterApp
+from .model import WaterParams
+
+__all__ = ["WaterApp", "WaterParams"]

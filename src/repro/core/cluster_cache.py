@@ -1,0 +1,247 @@
+"""Cluster-level caching of remote data (the Water optimization, Section 4.1).
+
+In an all-to-all exchange, many processors of one cluster read the *same*
+block of data from the same remote processor; the original program ships
+that block over the WAN once per reader.  The optimization designates, in
+every cluster, a *local coordinator* for each remote processor P.  Readers
+ask the coordinator; the coordinator fetches P's block over the WAN once
+per epoch, caches it, and serves all later local readers over the LAN.
+
+The write path mirrors it: local updates destined for P are sent to the
+coordinator, which combines them with an associative reduction and ships
+only the combined result over the WAN (once the expected number of local
+contributions has arrived).
+
+Epochs (iteration numbers) provide coherency for free: the paper notes
+"the local coordinator knows in advance which processors are going to
+read and write the data", so a block cached at epoch *e* is never served
+for epoch *e+1*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..orca import Context, OrcaRuntime
+
+__all__ = ["ClusterCache"]
+
+COORD_PORT = "core.ccache.coord"
+DATA_PORT = "core.ccache.data"
+UPDATE_PORT = "core.ccache.update"
+
+
+@dataclass
+class _FetchState:
+    cached: Optional[Tuple[Any, int]] = None
+    in_flight: bool = False
+    waiters: List[Tuple[int, str]] = field(default_factory=list)
+
+
+@dataclass
+class _WriteState:
+    acc: Any = None
+    count: int = 0
+
+
+class ClusterCache:
+    """Coordinator service; one instance covers the whole machine.
+
+    Applications must:
+
+    * register a *provider* per node: ``fn(epoch) -> (payload, size)``
+      returning the node's data block for that epoch;
+    * register an *update consumer* per node: ``fn(epoch, value)`` applying
+      a combined remote update;
+    * call :meth:`fetch` / :meth:`write_combined` from their processes.
+    """
+
+    def __init__(self, rts: OrcaRuntime,
+                 reduce_fn: Callable[[Any, Any], Any]):
+        self.rts = rts
+        self.topo = rts.topo
+        self.reduce_fn = reduce_fn
+        self._providers: Dict[int, Callable[[int], Tuple[Any, int]]] = {}
+        self._consumers: Dict[int, Callable[[int, Any], None]] = {}
+        # (coordinator node, owner, epoch) -> fetch state
+        self._fetch: Dict[Tuple[int, int, int], _FetchState] = {}
+        # (coordinator node, dest, epoch) -> write accumulation
+        self._writes: Dict[Tuple[int, int, int], _WriteState] = {}
+        self.wan_fetches = 0
+        self.cache_hits = 0
+        for node in range(self.topo.n_nodes):
+            rts.sim.spawn(self._coordinator_proc(node), name=f"ccachec{node}")
+            rts.sim.spawn(self._data_server_proc(node), name=f"ccached{node}")
+            rts.sim.spawn(self._update_sink_proc(node), name=f"ccacheu{node}")
+
+    # ----------------------------------------------------------- wiring
+
+    def register_provider(self, node: int,
+                          fn: Callable[[int], Tuple[Any, int]]) -> None:
+        self._providers[node] = fn
+
+    def register_consumer(self, node: int,
+                          fn: Callable[[int, Any], None]) -> None:
+        self._consumers[node] = fn
+
+    def coordinator_for(self, cluster: int, remote_proc: int) -> int:
+        """The node in ``cluster`` coordinating data of ``remote_proc``."""
+        nodes = self.topo.nodes_in(cluster)
+        return nodes[remote_proc % len(nodes)]
+
+    # -------------------------------------------------------------- reads
+
+    def fetch(self, ctx: Context, owner: int, epoch: int,
+              reply_port: Optional[str] = None) -> Generator:
+        """Read ``owner``'s block for ``epoch`` via the cluster cache."""
+        if self.topo.same_cluster(ctx.node, owner):
+            # Same cluster: fetch directly from the owner over the LAN.
+            port = reply_port or f"core.ccache.direct.{ctx.node}.{owner}.{epoch}"
+            yield from ctx.send(owner, 16, payload=("fetch", ctx.node, epoch,
+                                                    port),
+                                port=DATA_PORT, kind="proto")
+            msg = yield from ctx.receive(port=port)
+            self.rts.meter.record("rpc", 16 + msg.size, intercluster=False)
+            return msg.payload
+        coord = self.coordinator_for(ctx.cluster, owner)
+        port = reply_port or f"core.ccache.reply.{ctx.node}.{owner}.{epoch}"
+        if ctx.node == coord:
+            # We are the coordinator ourselves: run the protocol inline.
+            result = yield from self._coordinator_fetch(ctx, owner, epoch,
+                                                        ctx.node, port,
+                                                        inline=True)
+            return result
+        yield from ctx.send(coord, 16,
+                            payload=("fetch", ctx.node, owner, epoch, port),
+                            port=COORD_PORT, kind="proto")
+        msg = yield from ctx.receive(port=port)
+        self.rts.meter.record("rpc", 16 + msg.size, intercluster=False)
+        return msg.payload
+
+    # ------------------------------------------------------------- writes
+
+    def write_combined(self, ctx: Context, dest: int, epoch: int, value: Any,
+                       size: int, expected: int) -> Generator:
+        """Contribute ``value`` toward ``dest``; the coordinator combines
+        ``expected`` local contributions into one WAN message."""
+        if self.topo.same_cluster(ctx.node, dest):
+            self.rts.meter.record("rpc", size, intercluster=False)
+            yield from ctx.send(dest, size, payload=("update", epoch, value),
+                                port=UPDATE_PORT, kind="proto")
+            return
+        coord = self.coordinator_for(ctx.cluster, dest)
+        if ctx.node == coord:
+            yield from self._accumulate(ctx, dest, epoch, value, size, expected)
+            return
+        self.rts.meter.record("rpc", size, intercluster=False)
+        yield from ctx.send(coord, size,
+                            payload=("write", dest, epoch, value, size,
+                                     expected),
+                            port=COORD_PORT, kind="proto")
+
+    # ---------------------------------------------------------- processes
+
+    def _coordinator_proc(self, node: int) -> Generator:
+        ctx = self.rts.context(node)
+        while True:
+            msg = yield from ctx.receive(port=COORD_PORT)
+            kind = msg.payload[0]
+            if kind == "fetch":
+                _, requester, owner, epoch, port = msg.payload
+                self.rts.sim.spawn(
+                    self._coordinator_fetch(ctx, owner, epoch, requester, port),
+                    name="ccachefetch")
+            elif kind == "write":
+                _, dest, epoch, value, size, expected = msg.payload
+                yield from self._accumulate(ctx, dest, epoch, value, size,
+                                            expected)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown coordinator message {kind!r}")
+
+    def _coordinator_fetch(self, ctx: Context, owner: int, epoch: int,
+                           requester: int, port: str,
+                           inline: bool = False) -> Generator:
+        """Run on the coordinator node.  ``inline`` marks the case where the
+        coordinator's own application process is the requester driving this
+        generator directly (it takes the return value; no reply message)."""
+        key = (ctx.node, owner, epoch)
+        st = self._fetch.setdefault(key, _FetchState())
+        if st.cached is not None:
+            self.cache_hits += 1
+            payload, size = st.cached
+            if inline:
+                return payload
+            yield from self._serve(ctx, requester, port, payload, size)
+            return payload
+        if st.in_flight:
+            # Someone is already fetching this block over the WAN; park.
+            st.waiters.append((requester, port))
+            if inline:
+                msg = yield from ctx.receive(port=port)
+                return msg.payload
+            return None
+        st.in_flight = True
+        self.wan_fetches += 1
+        reply_port = f"core.ccache.wan.{ctx.node}.{owner}.{epoch}"
+        yield from ctx.send(owner, 16,
+                            payload=("fetch", ctx.node, epoch, reply_port),
+                            port=DATA_PORT, kind="proto")
+        msg = yield from ctx.receive(port=reply_port)
+        self.rts.meter.record(
+            "rpc", 16 + msg.size,
+            intercluster=not self.topo.same_cluster(ctx.node, owner))
+        payload = msg.payload
+        size = msg.size
+        st.cached = (payload, size)
+        st.in_flight = False
+        waiters, st.waiters = st.waiters, []
+        if not inline:
+            yield from self._serve(ctx, requester, port, payload, size)
+        for w_node, w_port in waiters:
+            yield from self._serve(ctx, w_node, w_port, payload, size)
+        return payload
+
+    def _serve(self, ctx: Context, requester: int, port: str, payload: Any,
+               size: int) -> Generator:
+        if requester == ctx.node:
+            # A parked inline caller on this node: wake it via loopback.
+            yield from ctx.send(ctx.node, 0, payload=payload, port=port)
+            return
+        yield from ctx.send(requester, size, payload=payload, port=port)
+
+    def _data_server_proc(self, node: int) -> Generator:
+        ctx = self.rts.context(node)
+        while True:
+            msg = yield from ctx.receive(port=DATA_PORT)
+            _, requester, epoch, reply_port = msg.payload
+            provider = self._providers.get(node)
+            if provider is None:
+                raise RuntimeError(f"no data provider registered on {node}")
+            payload, size = provider(epoch)
+            yield from ctx.send(requester, size, payload=payload,
+                                port=reply_port, kind="proto")
+
+    def _accumulate(self, ctx: Context, dest: int, epoch: int, value: Any,
+                    size: int, expected: int) -> Generator:
+        key = (ctx.node, dest, epoch)
+        st = self._writes.setdefault(key, _WriteState())
+        st.acc = value if st.count == 0 else self.reduce_fn(st.acc, value)
+        st.count += 1
+        if st.count >= expected:
+            del self._writes[key]
+            self.rts.meter.record(
+                "rpc", size,
+                intercluster=not self.topo.same_cluster(ctx.node, dest))
+            yield from ctx.send(dest, size, payload=("update", epoch, st.acc),
+                                port=UPDATE_PORT, kind="proto")
+
+    def _update_sink_proc(self, node: int) -> Generator:
+        ctx = self.rts.context(node)
+        while True:
+            msg = yield from ctx.receive(port=UPDATE_PORT)
+            _, epoch, value = msg.payload
+            consumer = self._consumers.get(node)
+            if consumer is None:
+                raise RuntimeError(f"no update consumer registered on {node}")
+            consumer(epoch, value)

@@ -1,0 +1,155 @@
+"""Cluster-level message combining (the RA optimization, Section 4.5).
+
+Irregular fine-grain traffic (RA sends hundreds of thousands of tiny
+asynchronous updates) drowns the WAN in per-message latency and gateway
+overhead.  The optimization designates one machine per cluster as the
+*combiner*: senders hand their intercluster messages to it over the LAN;
+the combiner accumulates them per destination cluster and occasionally
+ships one large combined message over the WAN.  The receiving cluster's
+combiner unpacks and forwards each inner message over its LAN, so final
+receivers are oblivious to the scheme.
+
+Flush policy: a buffer is flushed when it reaches ``max_messages`` or
+``max_bytes``, or when it has been non-empty for ``max_delay`` seconds —
+whichever comes first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..orca import Context, OrcaRuntime
+
+__all__ = ["CombinerConfig", "ClusterCombiner"]
+
+COMBINER_PORT = "core.combiner"
+#: Framing overhead per inner message inside a combined WAN message.
+HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class CombinerConfig:
+    max_messages: int = 64
+    max_bytes: int = 32 * 1024
+    max_delay: float = 1e-3
+
+    def __post_init__(self):
+        if self.max_messages < 1 or self.max_bytes < 1 or self.max_delay <= 0:
+            raise ValueError(f"invalid combiner config: {self}")
+
+
+@dataclass
+class _Buffer:
+    entries: List[Tuple[int, int, Any, str]] = field(default_factory=list)
+    bytes: int = 0
+    opened_at: float = 0.0
+
+
+class ClusterCombiner:
+    """One combiner endpoint per cluster, running on that cluster's first node.
+
+    Use :meth:`send` from application code instead of ``ctx.send`` for
+    intercluster traffic that may be combined.  Intracluster messages are
+    passed straight through.
+    """
+
+    def __init__(self, rts: OrcaRuntime, config: Optional[CombinerConfig] = None):
+        self.rts = rts
+        self.topo = rts.topo
+        self.config = config or CombinerConfig()
+        # Per (combiner cluster, destination cluster) buffers.
+        self._buffers: Dict[Tuple[int, int], _Buffer] = {}
+        self.flushes = 0
+        self.combined_messages = 0
+        for cluster in range(self.topo.n_clusters):
+            node = self.combiner_node(cluster)
+            rts.sim.spawn(self._combiner_proc(node, cluster),
+                          name=f"combiner{cluster}")
+
+    def combiner_node(self, cluster: int) -> int:
+        return self.topo.nodes_in(cluster)[0]
+
+    # ------------------------------------------------------------------ API
+
+    def send(self, ctx: Context, dst: int, size: int, payload: Any = None,
+             port: str = "app") -> Generator:
+        """Send ``payload`` to ``dst``; intercluster messages are combined."""
+        dst_cluster = self.topo.cluster_of(dst)
+        if dst_cluster == ctx.cluster:
+            yield from ctx.send(dst, size, payload, port=port)
+            return
+        combiner = self.combiner_node(ctx.cluster)
+        entry = ("relay", dst, size, payload, port)
+        if ctx.node == combiner:
+            # Local shortcut: we *are* the combiner; buffer directly.
+            self._buffer_entry(ctx, ctx.cluster, dst, size, payload, port)
+            return
+        yield from ctx.send(combiner, size, payload=entry, port=COMBINER_PORT)
+
+    # ------------------------------------------------------------ processes
+
+    def _combiner_proc(self, node: int, cluster: int) -> Generator:
+        ctx = self.rts.context(node)
+        while True:
+            msg = yield from ctx.receive(port=COMBINER_PORT)
+            kind = msg.payload[0]
+            if kind == "relay":
+                _, dst, size, payload, port = msg.payload
+                self._buffer_entry(ctx, cluster, dst, size, payload, port)
+            elif kind == "combined":
+                # Unpack and forward each inner message over the LAN.
+                _, entries = msg.payload
+                self.combined_messages += 1
+                for dst, size, payload, port in entries:
+                    yield from ctx.send(dst, size, payload, port=port)
+            elif kind == "flush":
+                _, dst_cluster, opened_at = msg.payload
+                buf = self._buffers.get((cluster, dst_cluster))
+                if buf is not None and buf.entries and buf.opened_at == opened_at:
+                    yield from self._flush(ctx, cluster, dst_cluster)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown combiner message {kind!r}")
+
+    def _buffer_entry(self, ctx: Context, cluster: int, dst: int, size: int,
+                      payload: Any, port: str) -> None:
+        key = (cluster, self.topo.cluster_of(dst))
+        buf = self._buffers.setdefault(key, _Buffer())
+        if not buf.entries:
+            # A fresh buffer generation gets its own flush timer; a timer
+            # whose generation was already flushed (by size) finds a
+            # different ``opened_at`` and does nothing.
+            buf.opened_at = ctx.now
+            self.rts.sim.spawn(self._delayed_flush(ctx, key, buf.opened_at),
+                               name="combtimer")
+        buf.entries.append((dst, size, payload, port))
+        buf.bytes += size + HEADER_BYTES
+        cfg = self.config
+        if (len(buf.entries) >= cfg.max_messages or buf.bytes >= cfg.max_bytes):
+            self.rts.sim.spawn(self._flush(ctx, key[0], key[1]),
+                               name="combflush")
+
+    def _delayed_flush(self, ctx: Context, key: Tuple[int, int],
+                       opened_at: float) -> Generator:
+        yield self.rts.sim.timeout(self.config.max_delay)
+        buf = self._buffers.get(key)
+        if buf is not None and buf.entries and buf.opened_at == opened_at:
+            yield from self._flush(ctx, key[0], key[1])
+
+    def _flush(self, ctx: Context, cluster: int, dst_cluster: int) -> Generator:
+        buf = self._buffers.get((cluster, dst_cluster))
+        if buf is None or not buf.entries:
+            return
+        entries, buf.entries = buf.entries, []
+        total_bytes, buf.bytes = buf.bytes, 0
+        self.flushes += 1
+        remote = self.combiner_node(dst_cluster)
+        yield from ctx.send(remote, total_bytes,
+                            payload=("combined", entries),
+                            port=COMBINER_PORT)
+
+    # -------------------------------------------------------------- stats
+
+    @property
+    def pending(self) -> int:
+        return sum(len(b.entries) for b in self._buffers.values())

@@ -1,0 +1,67 @@
+"""The paper's taxonomy of communication patterns and improvements (Table 3).
+
+Two families of wide-area optimization emerge from the eight case studies:
+
+* **Traffic reduction** — restructure the algorithm so less data crosses
+  cluster boundaries (caching, hierarchical reduction, static
+  distribution, local-first stealing, relaxed consistency).
+* **Latency hiding** — keep the same volume but mask WAN latency
+  (message combining, sequencer migration, asynchronous/pipelined sends).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+__all__ = ["OptimizationFamily", "AppPattern", "TABLE3", "table3_rows"]
+
+
+class OptimizationFamily(Enum):
+    TRAFFIC_REDUCTION = "reduce intercluster traffic"
+    LATENCY_HIDING = "hide intercluster latency"
+    NONE = "none implemented"
+
+
+@dataclass(frozen=True)
+class AppPattern:
+    app: str
+    communication: str
+    improvement: str
+    family: OptimizationFamily
+
+
+TABLE3: Dict[str, AppPattern] = {
+    "water": AppPattern(
+        "Water", "All-to-all exchange", "Cluster cache",
+        OptimizationFamily.TRAFFIC_REDUCTION),
+    "atpg": AppPattern(
+        "ATPG", "All-to-one", "Cluster-level reduction",
+        OptimizationFamily.TRAFFIC_REDUCTION),
+    "tsp": AppPattern(
+        "TSP", "Central job queue", "Static distribution",
+        OptimizationFamily.TRAFFIC_REDUCTION),
+    "ida": AppPattern(
+        "IDA*", "Distributed job queue with work stealing",
+        'Steal from local cluster first; "remember empty" heuristic',
+        OptimizationFamily.TRAFFIC_REDUCTION),
+    "acp": AppPattern(
+        "ACP", "Irregular broadcast", "None implemented",
+        OptimizationFamily.NONE),
+    "asp": AppPattern(
+        "ASP", "Regular broadcast", "Sequencer migration",
+        OptimizationFamily.LATENCY_HIDING),
+    "ra": AppPattern(
+        "RA", "Irregular message passing", "Message combining per cluster",
+        OptimizationFamily.LATENCY_HIDING),
+    "sor": AppPattern(
+        "SOR", "Nearest neighbor", 'Reduced ("chaotic") relaxation',
+        OptimizationFamily.TRAFFIC_REDUCTION),
+}
+
+
+def table3_rows() -> List[AppPattern]:
+    """Rows in the paper's presentation order."""
+    order = ["water", "atpg", "tsp", "ida", "acp", "asp", "ra", "sor"]
+    return [TABLE3[k] for k in order]

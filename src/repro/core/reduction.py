@@ -1,0 +1,139 @@
+"""Cluster-level reductions for associative all-to-one operations.
+
+The ATPG optimization (Section 4.4): instead of every processor RPC-ing
+its statistics to processor 0 (many WAN crossings), processors first
+reduce *within* their cluster at a cluster representative, and each
+representative sends a single combined value over the WAN — one
+intercluster RPC per cluster.
+
+Both the flat (original) and hierarchical (optimized) collectives are
+provided so applications and benches can compare them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..orca import Context
+
+__all__ = ["flat_reduce", "cluster_reduce", "cluster_scatter",
+           "representative"]
+
+REDUCE_PORT = "core.reduce"
+
+
+def representative(ctx: Context, cluster: int) -> int:
+    """The node acting as reduction representative for ``cluster``."""
+    return ctx.topo.nodes_in(cluster)[0]
+
+
+def flat_reduce(ctx: Context, value: Any, combine: Callable[[Any, Any], Any],
+                size: int, root: int = 0, tag: str = "flat") -> Generator:
+    """All nodes send straight to ``root``; root combines (original scheme).
+
+    Collective: every node must call it with the same ``tag``.  Returns
+    the combined value at the root, ``None`` elsewhere.
+    """
+    port = f"{REDUCE_PORT}.{tag}"
+    if ctx.node != root:
+        yield from ctx.send(root, size, payload=value, port=port, kind="rpc")
+        return None
+    acc = value
+    for _ in range(ctx.topo.n_nodes - 1):
+        msg = yield from ctx.receive(port=port)
+        acc = combine(acc, msg.payload)
+    return acc
+
+
+def cluster_reduce(ctx: Context, value: Any,
+                   combine: Callable[[Any, Any], Any],
+                   size: int, root: int = 0, tag: str = "tree") -> Generator:
+    """Two-level reduction: within clusters first, then across (optimized).
+
+    Each node sends to its cluster representative; representatives combine
+    their cluster's values and send one message to the root, so exactly
+    ``n_clusters - 1`` messages cross the WAN (or fewer, when the root's
+    cluster needs none).  Returns the result at the root, ``None`` elsewhere.
+    """
+    topo = ctx.topo
+    my_cluster = ctx.cluster
+    rep = representative(ctx, my_cluster)
+    local_port = f"{REDUCE_PORT}.{tag}.local"
+    global_port = f"{REDUCE_PORT}.{tag}.global"
+
+    if ctx.node != rep and ctx.node != root:
+        yield from ctx.send(rep, size, payload=value, port=local_port, kind="rpc")
+        return None
+
+    if ctx.node == rep:
+        acc = value
+        expected = len(topo.nodes_in(my_cluster)) - 1
+        # The root never forwards to a representative (it is the final
+        # destination); when it shares our cluster and is not us, it sends
+        # locally like everyone else.
+        if root in topo.nodes_in(my_cluster) and root != rep:
+            pass  # root's value arrives on local_port like the others'
+        for _ in range(expected):
+            msg = yield from ctx.receive(port=local_port)
+            acc = combine(acc, msg.payload)
+        if rep == root:
+            # Collect the other representatives' combined values.
+            for _ in range(topo.n_clusters - 1):
+                msg = yield from ctx.receive(port=global_port)
+                acc = combine(acc, msg.payload)
+            return acc
+        yield from ctx.send(root, size, payload=acc, port=global_port, kind="rpc")
+        return None
+
+    # ctx.node == root but not a representative: contribute locally, then
+    # collect all representatives' values.
+    yield from ctx.send(rep, size, payload=value, port=local_port, kind="rpc")
+    acc: Optional[Any] = None
+    for _ in range(topo.n_clusters):
+        msg = yield from ctx.receive(port=global_port)
+        acc = msg.payload if acc is None else combine(acc, msg.payload)
+    return acc
+
+
+def cluster_scatter(ctx: Context, value: Any, size: int, root: int = 0,
+                    tag: str = "scatter") -> Generator:
+    """Two-level broadcast-down of a single value (the inverse of
+    :func:`cluster_reduce`): the root sends one message per remote cluster
+    representative, each representative forwards over its LAN.  Collective:
+    every node calls it; all return the root's value.
+
+    This is cheaper than a totally-ordered Orca broadcast when only a
+    small control value (e.g. a convergence decision) must reach everyone:
+    no sequencer interaction, ``n_clusters - 1`` WAN messages.
+    """
+    topo = ctx.topo
+    my_cluster = ctx.cluster
+    rep = representative(ctx, my_cluster)
+    down_port = f"{REDUCE_PORT}.{tag}.down"
+    fan_port = f"{REDUCE_PORT}.{tag}.fan"
+
+    if ctx.node == root:
+        root_cluster = topo.cluster_of(root)
+        for c in range(topo.n_clusters):
+            target = representative(ctx, c)
+            if c == root_cluster:
+                continue
+            yield from ctx.send(target, size, payload=value, port=down_port,
+                                kind="rpc")
+        # Fan out inside the root's own cluster.
+        for n in topo.nodes_in(root_cluster):
+            if n != root:
+                yield from ctx.send(n, size, payload=value, port=fan_port,
+                                    kind="rpc")
+        return value
+
+    if ctx.node == rep and not topo.same_cluster(ctx.node, root):
+        msg = yield from ctx.receive(port=down_port)
+        for n in topo.nodes_in(my_cluster):
+            if n != rep:
+                yield from ctx.send(n, size, payload=msg.payload,
+                                    port=fan_port, kind="rpc")
+        return msg.payload
+
+    msg = yield from ctx.receive(port=fan_port)
+    return msg.payload

@@ -1,0 +1,48 @@
+"""Experiment harness: runners and the paper's figure/table registry."""
+
+from .experiment import PAPER_CPU_COUNTS, CurvePoint, run_app, speedup_curve
+from .plot import ascii_speedup_plot
+from .figures import (
+    FULL_CPUS,
+    QUICK_CPUS,
+    SPEEDUP_FIGURES,
+    FigureSpec,
+    bench_params,
+    figure15_bars,
+    figure16_bars,
+    figure_curves,
+    format_bars,
+    format_curves,
+)
+from .tables import (
+    format_table1,
+    format_table2,
+    format_traffic,
+    table1_microbenchmarks,
+    table2_row,
+    traffic_row,
+)
+
+__all__ = [
+    "PAPER_CPU_COUNTS",
+    "ascii_speedup_plot",
+    "CurvePoint",
+    "run_app",
+    "speedup_curve",
+    "FULL_CPUS",
+    "QUICK_CPUS",
+    "SPEEDUP_FIGURES",
+    "FigureSpec",
+    "bench_params",
+    "figure15_bars",
+    "figure16_bars",
+    "figure_curves",
+    "format_bars",
+    "format_curves",
+    "format_table1",
+    "format_table2",
+    "format_traffic",
+    "table1_microbenchmarks",
+    "table2_row",
+    "traffic_row",
+]

@@ -1,0 +1,130 @@
+"""Experiment runner: one application variant on one machine configuration.
+
+``run_app`` builds the full stack (simulator, fabric, Orca runtime),
+registers the application, spawns one worker process per compute node,
+and measures the virtual time from start to the completion of the last
+worker — the paper's "core parallel algorithm, excluding program startup"
+measurement.  ``speedup_curve`` repeats it over cluster/CPU counts to
+produce the numbers behind Figures 1-14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..apps.base import Application, AppResult
+from ..network import DAS_PARAMS, Fabric, NetworkParams, Topology, uniform_clusters
+from ..orca import OrcaRuntime
+from ..sim import SimulationError, Simulator
+
+__all__ = ["run_app", "speedup_curve", "CurvePoint", "PAPER_CPU_COUNTS"]
+
+#: CPU counts the paper plots on its speedup figures.
+PAPER_CPU_COUNTS = (1, 8, 16, 32, 60)
+
+
+def run_app(app: Application, variant: str, n_clusters: int,
+            nodes_per_cluster: int, params: Any,
+            network: NetworkParams = DAS_PARAMS,
+            sequencer: Optional[str] = None,
+            trace: bool = False,
+            utilization: bool = False,
+            dedicated_sequencer_node: bool = False,
+            topology: Optional[Topology] = None) -> AppResult:
+    """Run ``app``/``variant`` on ``n_clusters`` x ``nodes_per_cluster``.
+
+    ``dedicated_sequencer_node`` applies the paper's further broadcast
+    optimization of stamping on each cluster's last node instead of its
+    first (which usually also runs hot application roles like masters,
+    queue owners and combiners).
+
+    ``topology`` overrides the uniform layout — pass (a slice of)
+    :func:`repro.network.das_real` to run on the real, nonuniform DAS;
+    ``n_clusters``/``nodes_per_cluster`` then only label the result.
+    """
+    app.check_variant(variant)
+    sim = Simulator()
+    topo = topology if topology is not None \
+        else uniform_clusters(n_clusters, nodes_per_cluster)
+    fabric = Fabric(sim, topo, network)
+    if trace:
+        fabric.tracer.enabled = True
+    seq_kind = sequencer if sequencer is not None else app.sequencer_for(variant)
+    rts = OrcaRuntime(sim, fabric, sequencer=seq_kind,
+                      dedicated_sequencer_node=dedicated_sequencer_node)
+
+    shared = app.register(rts, params, variant)
+    finished_at: List[float] = [0.0] * topo.n_nodes
+
+    def timed(nid):
+        value = yield from app.process(rts.context(nid), params, variant,
+                                       shared)
+        finished_at[nid] = sim.now
+        return value
+
+    workers = [sim.spawn(timed(nid), name=f"{app.name}{nid}")
+               for nid in range(topo.n_nodes)]
+    sim.run()
+    for w in workers:
+        if not w.triggered:
+            raise SimulationError(
+                f"{app.name}/{variant} on {n_clusters}x{nodes_per_cluster}: "
+                f"worker {w.name} never finished (deadlock at t={sim.now})")
+        if not w._ok:
+            raise w._value
+    elapsed = max(finished_at)
+    answer = app.finalize(rts, params, variant, shared)
+    util = None
+    if utilization:
+        from ..metrics.utilization import collect_utilization
+        util = collect_utilization(fabric, elapsed)
+    return AppResult(
+        app=app.name, variant=variant, n_clusters=n_clusters,
+        nodes_per_cluster=nodes_per_cluster, elapsed=elapsed, answer=answer,
+        stats=app.stats(rts, params, variant, shared),
+        traffic=rts.meter.snapshot(), utilization=util)
+
+
+@dataclass
+class CurvePoint:
+    n_clusters: int
+    n_cpus: int
+    elapsed: float
+    speedup: float
+    result: AppResult
+
+
+def speedup_curve(app: Application, variant: str, params: Any,
+                  cluster_counts: Sequence[int] = (1, 2, 4),
+                  cpu_counts: Sequence[int] = PAPER_CPU_COUNTS,
+                  network: NetworkParams = DAS_PARAMS,
+                  sequencer: Optional[str] = None,
+                  baseline_elapsed: Optional[float] = None,
+                  ) -> Dict[int, List[CurvePoint]]:
+    """Speedup vs CPU count, one curve per cluster count (Figures 1-14).
+
+    Speedup is relative to the same program on one processor, as in the
+    paper ("speedup relative to the one-processor case" for originals,
+    "relative to itself" for optimized programs).
+    """
+    if baseline_elapsed is None:
+        base = run_app(app, variant, 1, 1, params, network=network,
+                       sequencer=sequencer)
+        baseline_elapsed = base.elapsed
+    curves: Dict[int, List[CurvePoint]] = {}
+    for n_clusters in cluster_counts:
+        points: List[CurvePoint] = []
+        for n_cpus in cpu_counts:
+            if n_cpus % n_clusters != 0:
+                continue  # equal number of processors per cluster
+            per = n_cpus // n_clusters
+            if per < 1:
+                continue
+            res = run_app(app, variant, n_clusters, per, params,
+                          network=network, sequencer=sequencer)
+            speed = baseline_elapsed / res.elapsed if res.elapsed > 0 else 0.0
+            points.append(CurvePoint(n_clusters, n_cpus, res.elapsed, speed,
+                                     res))
+        curves[n_clusters] = points
+    return curves

@@ -1,0 +1,171 @@
+"""Registry of the paper's figures: speedup curves and summary bars.
+
+Each entry knows which application, variant, and problem size regenerate
+a figure.  ``bench_params`` returns the problem sizes the benchmarks use:
+paper sizes wherever a run costs seconds, and a documented scale-down for
+ASP (n=3000 -> n=1000) whose event count would otherwise dominate the
+benchmark suite; EXPERIMENTS.md discusses the effect of the scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..apps import make_app, paper_params
+from ..apps.base import AppResult
+from ..network import DAS_PARAMS, NetworkParams
+from .experiment import CurvePoint, run_app, speedup_curve
+
+__all__ = [
+    "FigureSpec",
+    "SPEEDUP_FIGURES",
+    "bench_params",
+    "figure_curves",
+    "figure15_bars",
+    "figure16_bars",
+    "format_curves",
+    "format_bars",
+    "QUICK_CPUS",
+    "FULL_CPUS",
+]
+
+QUICK_CPUS = (8, 16, 32, 60)
+FULL_CPUS = (1, 8, 16, 32, 60)
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    figure: str
+    app: str
+    variant: str
+    caption: str
+
+
+#: Figures 1-14: per-application speedup curves, original and optimized.
+SPEEDUP_FIGURES: Dict[str, FigureSpec] = {
+    "fig1": FigureSpec("fig1", "water", "original", "Speedup of Water"),
+    "fig2": FigureSpec("fig2", "water", "optimized",
+                       "Speedup of optimized Water"),
+    "fig3": FigureSpec("fig3", "tsp", "original", "Speedup of TSP"),
+    "fig4": FigureSpec("fig4", "tsp", "optimized",
+                       "Speedup of optimized TSP"),
+    "fig5": FigureSpec("fig5", "asp", "original", "Speedup of ASP"),
+    "fig6": FigureSpec("fig6", "asp", "optimized",
+                       "Speedup of optimized ASP"),
+    "fig7": FigureSpec("fig7", "atpg", "original", "Speedup of ATPG"),
+    "fig8": FigureSpec("fig8", "atpg", "optimized",
+                       "Speedup of optimized ATPG"),
+    "fig9": FigureSpec("fig9", "ra", "original", "Speedup of RA"),
+    "fig10": FigureSpec("fig10", "ra", "optimized",
+                        "Speedup of optimized RA"),
+    "fig11": FigureSpec("fig11", "ida", "original", "Speedup of IDA*"),
+    "fig12": FigureSpec("fig12", "acp", "original", "Speedup of ACP"),
+    "fig13": FigureSpec("fig13", "sor", "original", "Speedup of SOR"),
+    "fig14": FigureSpec("fig14", "sor", "optimized",
+                        "Speedup of optimized SOR"),
+}
+
+
+def bench_params(app_name: str) -> Any:
+    """Problem sizes for the benchmark suite (see module docstring)."""
+    params = paper_params(app_name)
+    if app_name == "asp":
+        # n=3000 would dominate the suite's wall time; n=1000 with the
+        # per-element cost scaled 3x keeps the paper-size ratio of
+        # compute-per-iteration to WAN-row-transfer-per-iteration, which
+        # is the quantity Figures 5/6 exercise.
+        return params.with_(n_vertices=1000, elem_cost=300e-9)
+    return params
+
+
+def figure_curves(figure: str,
+                  cpu_counts: Sequence[int] = QUICK_CPUS,
+                  cluster_counts: Sequence[int] = (1, 2, 4),
+                  network: NetworkParams = DAS_PARAMS,
+                  ) -> Dict[int, List[CurvePoint]]:
+    """Regenerate one of Figures 1-14 as speedup curves."""
+    spec = SPEEDUP_FIGURES[figure]
+    app = make_app(spec.app)
+    return speedup_curve(app, spec.variant, bench_params(spec.app),
+                         cluster_counts=cluster_counts,
+                         cpu_counts=cpu_counts, network=network)
+
+
+# ------------------------------------------------------- summary figures
+
+
+def figure15_bars(app_name: str,
+                  network: NetworkParams = DAS_PARAMS) -> Dict[str, float]:
+    """Figure 15: four bars for one application (4-cluster study).
+
+    lower bound = original on 1x15; original/optimized on 4x15;
+    upper bound = optimized on 1x60.  Values are speedups relative to the
+    variant's own single-processor run, as in the paper.
+    """
+    app = make_app(app_name)
+    params = bench_params(app_name)
+    opt = "optimized" if "optimized" in app.variants else "original"
+
+    t1_orig = run_app(app, "original", 1, 1, params, network=network).elapsed
+    t1_opt = run_app(app, opt, 1, 1, params, network=network).elapsed
+
+    def speed(variant, n_clusters, per, t1):
+        res = run_app(app, variant, n_clusters, per, params, network=network)
+        return t1 / res.elapsed
+
+    return {
+        "lower_bound_15_1": speed("original", 1, 15, t1_orig),
+        "original_60_4": speed("original", 4, 15, t1_orig),
+        "optimized_60_4": speed(opt, 4, 15, t1_opt),
+        "upper_bound_60_1": speed(opt, 1, 60, t1_opt),
+    }
+
+
+def figure16_bars(app_name: str,
+                  network: NetworkParams = DAS_PARAMS) -> Dict[str, float]:
+    """Figure 16: the two-cluster (Delft + VU Amsterdam) study: original on
+    16/1, original and optimized on 32/2, optimized on 32/1."""
+    app = make_app(app_name)
+    params = bench_params(app_name)
+    opt = "optimized" if "optimized" in app.variants else "original"
+
+    t1_orig = run_app(app, "original", 1, 1, params, network=network).elapsed
+    t1_opt = run_app(app, opt, 1, 1, params, network=network).elapsed
+
+    def speed(variant, n_clusters, per, t1):
+        res = run_app(app, variant, n_clusters, per, params, network=network)
+        return t1 / res.elapsed
+
+    return {
+        "original_16_1": speed("original", 1, 16, t1_orig),
+        "original_32_2": speed("original", 2, 16, t1_orig),
+        "optimized_32_2": speed(opt, 2, 16, t1_opt),
+        "optimized_32_1": speed(opt, 1, 32, t1_opt),
+    }
+
+
+# ------------------------------------------------------------ formatting
+
+
+def format_curves(figure: str, curves: Dict[int, List[CurvePoint]]) -> str:
+    """Render speedup curves as the rows behind one of Figures 1-14."""
+    spec = SPEEDUP_FIGURES[figure]
+    lines = [f"{spec.figure}: {spec.caption} ({spec.app}/{spec.variant})",
+             f"{'clusters':>8} {'cpus':>5} {'speedup':>8} {'elapsed(s)':>11}"]
+    for n_clusters in sorted(curves):
+        for pt in curves[n_clusters]:
+            lines.append(f"{n_clusters:>8} {pt.n_cpus:>5} "
+                         f"{pt.speedup:>8.1f} {pt.elapsed:>11.4f}")
+    return "\n".join(lines)
+
+
+def format_bars(title: str, bars: Dict[str, Dict[str, float]]) -> str:
+    """Render Figure 15/16 style per-application bars."""
+    keys = list(next(iter(bars.values())).keys())
+    header = f"{'app':>6} " + " ".join(f"{k:>18}" for k in keys)
+    lines = [title, header]
+    for app_name, row in bars.items():
+        lines.append(f"{app_name:>6} "
+                     + " ".join(f"{row[k]:>18.1f}" for k in keys))
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""ASCII rendering of speedup curves (the paper's figure style, in text).
+
+No plotting dependencies are available offline, and the figures are
+simple enough that a character grid with the classic ``linear`` diagonal
+reads exactly like the paper's gnuplot output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .experiment import CurvePoint
+
+__all__ = ["ascii_speedup_plot"]
+
+#: plot symbol per cluster count, like the paper's point styles.
+MARKERS = {1: "o", 2: "x", 4: "#"}
+
+
+def ascii_speedup_plot(curves: Dict[int, List[CurvePoint]],
+                       title: str = "", width: int = 64,
+                       height: int = 20, max_axis: int = 60) -> str:
+    """Render speedup-vs-CPUs curves on a character grid.
+
+    The dotted diagonal is linear speedup; markers: o = 1 cluster,
+    x = 2 clusters, # = 4 clusters (overlap keeps the larger count).
+    """
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+
+    def col(cpus: float) -> int:
+        return round(min(cpus, max_axis) / max_axis * width)
+
+    def row(speedup: float) -> int:
+        return height - round(min(speedup, max_axis) / max_axis * height)
+
+    # Linear-speedup reference diagonal.
+    for c in range(0, max_axis + 1, 2):
+        grid[row(c)][col(c)] = "."
+
+    for n_clusters in sorted(curves):
+        marker = MARKERS.get(n_clusters, "*")
+        for pt in curves[n_clusters]:
+            grid[row(pt.speedup)][col(pt.n_cpus)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, chars in enumerate(grid):
+        label = max_axis - round(r / height * max_axis)
+        lines.append(f"{label:>4} |" + "".join(chars))
+    lines.append("     +" + "-" * (width + 1))
+    ticks = "      "
+    step = max_axis // 4
+    for t in range(0, max_axis + 1, step):
+        pos = 6 + col(t)
+        ticks = ticks.ljust(pos) + str(t)
+    lines.append(ticks)
+    lines.append("      CPUs   (o=1 cluster, x=2, #=4, .=linear)")
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Measurement: traffic accounting, utilization, report formatting."""
+
+from .counters import TrafficMeter, TrafficRow
+from .utilization import (
+    UtilizationReport,
+    collect_utilization,
+    format_utilization,
+)
+
+__all__ = [
+    "TrafficMeter",
+    "TrafficRow",
+    "UtilizationReport",
+    "collect_utilization",
+    "format_utilization",
+]

@@ -1,0 +1,354 @@
+"""The multilevel network fabric: nodes, gateways, LAN and WAN paths.
+
+The fabric is the paper's DAS machine model:
+
+* Every compute node has one CPU (a FIFO resource shared between
+  application compute and per-message protocol overheads) and per-node
+  LAN injection/delivery ports (so endpoint contention is modeled, while
+  disjoint pairs communicate in parallel — a crossbar-like Myrinet).
+* Every cluster has one *dedicated* gateway (it runs no application code,
+  matching the paper).  Intercluster messages travel
+  node -> access link -> gateway -> WAN PVC -> remote gateway -> access
+  link -> node, with store-and-forward CPU cost at each gateway.
+* WAN PVCs are per directed cluster pair (the DAS has a Permanent Virtual
+  Circuit between every pair of sites), each a bandwidth-serialized link.
+* The LAN supports hardware-assisted multicast (Myrinet FM broadcast):
+  one injection, parallel delivery to all cluster nodes.
+
+Send semantics: :meth:`Fabric.send` is a generator to be driven by the
+*calling* process — the caller pays the sender-side CPU overhead
+synchronously, then the rest of the path proceeds in the background.  It
+returns the delivery event, so callers can also wait for arrival.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..metrics.counters import TrafficMeter
+from ..sim import CPU, Channel, Event, Resource, Simulator, Tracer
+from .message import Message
+from .params import NetworkParams
+from .topology import Topology
+
+__all__ = ["Node", "Gateway", "Fabric"]
+
+
+class Node:
+    """A compute node: CPU + named mailboxes (ports)."""
+
+    def __init__(self, sim: Simulator, nid: int, cluster: int):
+        self.sim = sim
+        self.nid = nid
+        self.cluster = cluster
+        self.cpu = CPU(sim, name=f"cpu{nid}")
+        self._ports: Dict[str, Channel] = {}
+
+    def port(self, name: str = "default") -> Channel:
+        """The named mailbox on this node (created on first use)."""
+        ch = self._ports.get(name)
+        if ch is None:
+            ch = self._ports[name] = Channel(self.sim, name=f"n{self.nid}:{name}")
+        return ch
+
+    def __repr__(self) -> str:
+        return f"Node({self.nid}@c{self.cluster})"
+
+
+class Gateway:
+    """A dedicated store-and-forward gateway for one cluster."""
+
+    def __init__(self, sim: Simulator, cluster: int):
+        self.sim = sim
+        self.cluster = cluster
+        self.cpu = CPU(sim, name=f"gw{cluster}")
+
+    def __repr__(self) -> str:
+        return f"Gateway(c{self.cluster})"
+
+
+class Fabric:
+    """Routes messages over the multilevel cluster."""
+
+    def __init__(self, sim: Simulator, topo: Topology, params: NetworkParams,
+                 meter: Optional[TrafficMeter] = None,
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.topo = topo
+        self.params = params
+        self.meter = meter if meter is not None else TrafficMeter()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+        self.nodes: List[Node] = [
+            Node(sim, nid, topo.cluster_of(nid)) for nid in range(topo.n_nodes)
+        ]
+        self.gateways: List[Gateway] = [
+            Gateway(sim, ci) for ci in range(topo.n_clusters)
+        ]
+        # Per-node LAN ports: injection (out) and delivery (in).
+        self._lan_out = [Resource(sim, name=f"lanout{n}") for n in range(topo.n_nodes)]
+        self._lan_in = [Resource(sim, name=f"lanin{n}") for n in range(topo.n_nodes)]
+        # Per-cluster gateway access links (shared by the whole cluster —
+        # the DAS gateways hang off Fast Ethernet, a genuine bottleneck).
+        self._gw_access = [Resource(sim, name=f"gwaccess{c}")
+                           for c in range(topo.n_clusters)]
+        # Directed WAN PVCs between cluster pairs.
+        self._wan: Dict[Tuple[int, int], Resource] = {
+            pair: Resource(sim, name=f"wan{pair}")
+            for pair in topo.cluster_pairs()
+        }
+
+    # ------------------------------------------------------------------ API
+
+    def node(self, nid: int) -> Node:
+        """The compute node with global id ``nid``."""
+        return self.nodes[nid]
+
+    def send(self, src: int, dst: int, size: int, payload: Any = None,
+             port: str = "default", kind: str = "msg") -> Generator:
+        """Generator: caller pays sender overhead, delivery runs in background.
+
+        Yields from the calling process; *returns* the delivery
+        :class:`Event` (fires with the :class:`Message` once deposited in
+        the destination port).
+        """
+        msg = Message(src=src, dst=dst, size=size, payload=payload,
+                      port=port, kind=kind, send_time=self.sim.now)
+        local = self.topo.same_cluster(src, dst)
+        link = self.params.lan if local else self.params.access
+        # Sender-side CPU overhead, paid synchronously by the caller.
+        yield self.sim.spawn(self.nodes[src].cpu.execute(
+            link.o_send + size * link.per_byte_cpu))
+        if src == dst:
+            done = self.sim.spawn(self._deliver_self(msg), name="selfmsg")
+        elif local:
+            done = self.sim.spawn(self._deliver_lan(msg), name="lanmsg")
+        else:
+            done = self.sim.spawn(self._deliver_wan(msg), name="wanmsg")
+        return done
+
+    def send_and_wait(self, src: int, dst: int, size: int, payload: Any = None,
+                      port: str = "default", kind: str = "msg") -> Generator:
+        """Generator: like :meth:`send` but blocks until delivery."""
+        done = yield from self.send(src, dst, size, payload, port, kind)
+        msg = yield done
+        return msg
+
+    def multicast_local(self, src: int, size: int, payload: Any = None,
+                        port: str = "default", kind: str = "msg",
+                        include_self: bool = True) -> Generator:
+        """Myrinet-style LAN multicast from ``src`` to its whole cluster.
+
+        Caller pays sender overhead; returns an event firing when *all*
+        receivers have the message.
+        """
+        lan = self.params.lan
+        yield self.sim.spawn(self.nodes[src].cpu.execute(
+            lan.o_send + self.params.bcast_extra + size * lan.per_byte_cpu))
+        done = self.sim.spawn(
+            self._deliver_multicast(src, self.topo.cluster_of(src), size,
+                                    payload, port, kind, include_self),
+            name="mcast")
+        return done
+
+    def gateway_multicast(self, src: int, dst_cluster: int, size: int,
+                          payload: Any = None, port: str = "default",
+                          kind: str = "msg") -> Generator:
+        """Send over the WAN to ``dst_cluster``'s gateway, which re-multicasts
+        to every node of that cluster (how Orca broadcasts cross the WAN)."""
+        if self.topo.cluster_of(src) == dst_cluster:
+            raise ValueError("gateway_multicast targets a *remote* cluster")
+        access = self.params.access
+        yield self.sim.spawn(self.nodes[src].cpu.execute(
+            access.o_send + size * access.per_byte_cpu))
+        done = self.sim.spawn(
+            self._deliver_wan_multicast(src, dst_cluster, size, payload,
+                                        port, kind),
+            name="wanmcast")
+        return done
+
+    def wan_fanout_multicast(self, src: int, size: int, payload: Any = None,
+                             port: str = "default",
+                             kind: str = "msg") -> Generator:
+        """Broadcast to *all remote clusters*: one access-link trip to the
+        local gateway, then parallel WAN transfers on each PVC, each remote
+        gateway re-multicasting locally.  This is how the DAS gateways fan
+        out an Orca broadcast; the payload climbs the sender's access link
+        only once."""
+        src_cluster = self.topo.cluster_of(src)
+        remote = [c for c in range(self.topo.n_clusters) if c != src_cluster]
+        if not remote:
+            done = Event(self.sim)
+            done.succeed(0)
+            return done
+        access = self.params.access
+        yield self.sim.spawn(self.nodes[src].cpu.execute(
+            access.o_send + size * access.per_byte_cpu))
+        done = self.sim.spawn(
+            self._deliver_wan_fanout(src, src_cluster, remote, size, payload,
+                                     port, kind),
+            name="wanfanout")
+        return done
+
+    # ------------------------------------------------------- path processes
+
+    def _occupy(self, res: Resource, seconds: float) -> Generator:
+        yield res.request()
+        try:
+            if seconds > 0:
+                yield self.sim.timeout(seconds)
+        finally:
+            res.release()
+
+    def _deliver_self(self, msg: Message) -> Generator:
+        # Loopback: negligible wire, small fixed cost.
+        yield self.sim.timeout(1e-6)
+        self._deposit(msg)
+        return msg
+
+    def _deliver_lan(self, msg: Message) -> Generator:
+        # Cut-through: the injection port and the delivery port are each
+        # occupied for one serialization time, but they overlap (the switch
+        # forwards as bytes arrive), so an uncontended transfer takes
+        # latency + size/bw, while endpoint contention still serializes.
+        lan = self.params.lan
+        tx = msg.size / lan.bandwidth
+        out_leg = self.sim.spawn(self._occupy(self._lan_out[msg.src], tx))
+        in_leg = self.sim.spawn(self._lan_in_leg(msg, tx))
+        yield self.sim.all_of([out_leg, in_leg])
+        self._deposit(msg)
+        return msg
+
+    def _lan_in_leg(self, msg: Message, tx: float) -> Generator:
+        lan = self.params.lan
+        yield self.sim.timeout(lan.latency)
+        yield self.sim.spawn(self._occupy(self._lan_in[msg.dst], tx))
+        yield self.sim.spawn(self.nodes[msg.dst].cpu.execute(
+            lan.o_recv + msg.size * lan.per_byte_cpu))
+
+    def _wan_leg(self, msg_size: int, src_cluster: int, dst_cluster: int
+                 ) -> Generator:
+        """Gateway -> WAN PVC -> remote gateway (shared by all WAN paths)."""
+        gwp = self.params.gateway
+        wan = self.params.wan
+        # Local gateway store-and-forward.
+        yield self.sim.spawn(self.gateways[src_cluster].cpu.execute(
+            gwp.forward_cost + msg_size * gwp.per_byte_cost))
+        # The PVC serializes transmissions; latency is pipeline delay.
+        tx = msg_size / wan.bandwidth
+        yield self.sim.spawn(self._occupy(self._wan[(src_cluster, dst_cluster)], tx))
+        self.meter.record_wan(msg_size)
+        yield self.sim.timeout(wan.latency)
+        # Remote gateway store-and-forward.
+        yield self.sim.spawn(self.gateways[dst_cluster].cpu.execute(
+            gwp.forward_cost + msg_size * gwp.per_byte_cost))
+
+    def _access_leg_up(self, msg: Message) -> Generator:
+        """Node -> local gateway over the shared access link."""
+        access = self.params.access
+        tx = msg.size / access.bandwidth
+        src_cluster = self.topo.cluster_of(msg.src)
+        yield self.sim.spawn(self._occupy(self._gw_access[src_cluster], tx))
+        yield self.sim.timeout(access.latency)
+
+    def _access_leg_down(self, msg: Message, dst: int) -> Generator:
+        """Remote gateway -> destination node."""
+        access = self.params.access
+        tx = msg.size / access.bandwidth
+        dst_cluster = self.topo.cluster_of(dst)
+        yield self.sim.spawn(self._occupy(self._gw_access[dst_cluster], tx))
+        yield self.sim.timeout(access.latency)
+        yield self.sim.spawn(self.nodes[dst].cpu.execute(
+            access.o_recv + msg.size * access.per_byte_cpu))
+
+    def _deliver_wan(self, msg: Message) -> Generator:
+        src_cluster = self.topo.cluster_of(msg.src)
+        dst_cluster = self.topo.cluster_of(msg.dst)
+        yield self.sim.spawn(self._access_leg_up(msg))
+        yield self.sim.spawn(self._wan_leg(msg.size, src_cluster, dst_cluster))
+        yield self.sim.spawn(self._access_leg_down(msg, msg.dst))
+        self._deposit(msg)
+        return msg
+
+    def _deliver_multicast(self, src: int, cluster: int, size: int,
+                           payload: Any, port: str, kind: str,
+                           include_self: bool) -> Generator:
+        lan = self.params.lan
+        tx = size / lan.bandwidth
+        # Injection overlaps delivery (spanning-tree forwarding in the NIC).
+        legs = [self.sim.spawn(self._occupy(self._lan_out[src], tx))]
+        for dst in self.topo.nodes_in(cluster):
+            if dst == src and not include_self:
+                continue
+            msg = Message(src=src, dst=dst, size=size, payload=payload,
+                          port=port, kind=kind, send_time=self.sim.now)
+            legs.append(self.sim.spawn(self._multicast_recv(msg, tx)))
+        yield self.sim.all_of(legs)
+        return len(legs) - 1
+
+    def _multicast_recv(self, msg: Message, tx: float) -> Generator:
+        lan = self.params.lan
+        yield self.sim.timeout(lan.latency)
+        yield self.sim.spawn(self._occupy(self._lan_in[msg.dst], tx))
+        yield self.sim.spawn(self.nodes[msg.dst].cpu.execute(
+            lan.o_recv + msg.size * lan.per_byte_cpu))
+        self._deposit(msg)
+
+    def _deliver_wan_fanout(self, src: int, src_cluster: int,
+                            remote: List[int], size: int, payload: Any,
+                            port: str, kind: str) -> Generator:
+        fake = Message(src=src, dst=src, size=size, payload=payload,
+                       port=port, kind=kind)
+        yield self.sim.spawn(self._access_leg_up(fake))
+        legs = [self.sim.spawn(
+            self._wan_leg_and_remote_multicast(src, src_cluster, c, size,
+                                               payload, port, kind))
+            for c in remote]
+        counts = yield self.sim.all_of(legs)
+        return sum(counts)
+
+    def _wan_leg_and_remote_multicast(self, src: int, src_cluster: int,
+                                      dst_cluster: int, size: int,
+                                      payload: Any, port: str,
+                                      kind: str) -> Generator:
+        yield self.sim.spawn(self._wan_leg(size, src_cluster, dst_cluster))
+        n = yield self.sim.spawn(
+            self._remote_gateway_multicast(src, dst_cluster, size, payload,
+                                           port, kind))
+        return n
+
+    def _remote_gateway_multicast(self, src: int, dst_cluster: int, size: int,
+                                  payload: Any, port: str,
+                                  kind: str) -> Generator:
+        """Re-inject a WAN arrival as a local multicast in ``dst_cluster``."""
+        lan = self.params.lan
+        gw = self.gateways[dst_cluster]
+        yield self.sim.spawn(gw.cpu.execute(lan.o_send + self.params.bcast_extra))
+        tx = size / lan.bandwidth
+        waits = []
+        for dst in self.topo.nodes_in(dst_cluster):
+            msg = Message(src=src, dst=dst, size=size, payload=payload,
+                          port=port, kind=kind, send_time=self.sim.now)
+            waits.append(self.sim.spawn(self._multicast_recv(msg, tx)))
+        if waits:
+            yield self.sim.all_of(waits)
+        return len(waits)
+
+    def _deliver_wan_multicast(self, src: int, dst_cluster: int, size: int,
+                               payload: Any, port: str, kind: str) -> Generator:
+        src_cluster = self.topo.cluster_of(src)
+        fake = Message(src=src, dst=src, size=size, payload=payload,
+                       port=port, kind=kind)
+        yield self.sim.spawn(self._access_leg_up(fake))
+        n = yield self.sim.spawn(
+            self._wan_leg_and_remote_multicast(src, src_cluster, dst_cluster,
+                                               size, payload, port, kind))
+        return n
+
+    # ---------------------------------------------------------------- util
+
+    def _deposit(self, msg: Message) -> None:
+        msg.recv_time = self.sim.now
+        self.tracer.emit(self.sim.now, "deliver", src=msg.src, dst=msg.dst,
+                         size=msg.size, msg_kind=msg.kind, port=msg.port)
+        self.nodes[msg.dst].port(msg.port).put(msg)

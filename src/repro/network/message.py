@@ -1,0 +1,36 @@
+"""Message record passed through the fabric."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Message"]
+
+_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """An application-level message.
+
+    ``size`` is the payload size in bytes used for all timing and traffic
+    accounting; ``payload`` is the actual Python object carried (never
+    serialized — this is a simulator).  ``port`` names the logical mailbox
+    on the destination node.
+    """
+
+    src: int
+    dst: int
+    size: int
+    payload: Any = None
+    port: str = "default"
+    kind: str = "msg"
+    msg_id: int = field(default_factory=lambda: next(_ids))
+    send_time: float = 0.0
+    recv_time: float = 0.0
+
+    def __post_init__(self):
+        if self.size < 0:
+            raise ValueError(f"negative message size: {self.size}")

@@ -1,0 +1,132 @@
+"""Cluster topology: clusters of compute nodes plus dedicated gateways.
+
+Mirrors the DAS (Fig. 17): four sites — VU Amsterdam (64), UvA Amsterdam (24),
+Leiden (24), Delft (24) — each with one dedicated gateway, joined pairwise by
+ATM PVCs.  The *experimentation system* splits the 64-node VU cluster into
+four sub-clusters of up to 15 compute nodes + 1 gateway each, which is the
+configuration all the paper's multi-cluster numbers use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "ClusterSpec",
+    "Topology",
+    "das_real",
+    "das_experimentation",
+    "uniform_clusters",
+]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One site: ``n_nodes`` compute nodes and a dedicated gateway."""
+
+    name: str
+    n_nodes: int
+
+    def __post_init__(self):
+        if self.n_nodes < 1:
+            raise ValueError(f"cluster {self.name!r} needs >= 1 node")
+
+
+@dataclass
+class Topology:
+    """Global node numbering over a list of clusters.
+
+    Compute nodes are numbered 0..P-1 in cluster order.  Gateways are not
+    compute nodes (the paper dedicates them); they are addressed separately
+    by cluster index.
+    """
+
+    clusters: List[ClusterSpec]
+    _starts: List[int] = field(init=False)
+
+    def __post_init__(self):
+        if not self.clusters:
+            raise ValueError("topology needs at least one cluster")
+        self._starts = []
+        acc = 0
+        for c in self.clusters:
+            self._starts.append(acc)
+            acc += c.n_nodes
+        self._total = acc
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def n_nodes(self) -> int:
+        return self._total
+
+    def cluster_of(self, node: int) -> int:
+        """Cluster index owning global node id ``node``."""
+        if not 0 <= node < self._total:
+            raise ValueError(f"node id {node} out of range 0..{self._total - 1}")
+        # Clusters are few; linear scan is clearest and fast enough.
+        for ci in range(len(self.clusters) - 1, -1, -1):
+            if node >= self._starts[ci]:
+                return ci
+        raise AssertionError("unreachable")
+
+    def nodes_in(self, cluster: int) -> range:
+        start = self._starts[cluster]
+        return range(start, start + self.clusters[cluster].n_nodes)
+
+    def local_rank(self, node: int) -> int:
+        """Rank of ``node`` within its own cluster."""
+        return node - self._starts[self.cluster_of(node)]
+
+    def same_cluster(self, a: int, b: int) -> bool:
+        return self.cluster_of(a) == self.cluster_of(b)
+
+    def peers(self, node: int) -> List[int]:
+        """All compute nodes except ``node``."""
+        return [n for n in range(self._total) if n != node]
+
+    def cluster_pairs(self) -> List[Tuple[int, int]]:
+        """All ordered pairs of distinct clusters (directed WAN PVCs)."""
+        n = self.n_clusters
+        return [(a, b) for a in range(n) for b in range(n) if a != b]
+
+    def describe(self) -> str:
+        rows = [f"{c.name}: nodes {list(self.nodes_in(i))[0]}.."
+                f"{list(self.nodes_in(i))[-1]} ({c.n_nodes}) + gateway"
+                for i, c in enumerate(self.clusters)]
+        return "\n".join(rows)
+
+
+def das_real() -> Topology:
+    """The real DAS: 64 + 24 + 24 + 24 compute nodes (Fig. 17)."""
+    return Topology([
+        ClusterSpec("VU-Amsterdam", 64),
+        ClusterSpec("UvA-Amsterdam", 24),
+        ClusterSpec("Leiden", 24),
+        ClusterSpec("Delft", 24),
+    ])
+
+
+def das_experimentation(n_clusters: int, nodes_per_cluster: int) -> Topology:
+    """The split-64 experimentation system used for all paper measurements.
+
+    With four sub-clusters each holds at most 15 compute nodes + 1 gateway.
+    """
+    if not 1 <= n_clusters <= 4:
+        raise ValueError("DAS experimentation system has 1..4 sub-clusters")
+    if n_clusters == 4 and nodes_per_cluster > 15:
+        raise ValueError("4-cluster runs have at most 15 compute nodes each "
+                         "(64 = 4*15 + 4 gateways)")
+    return uniform_clusters(n_clusters, nodes_per_cluster, prefix="sub")
+
+
+def uniform_clusters(n_clusters: int, nodes_per_cluster: int,
+                     prefix: str = "cluster") -> Topology:
+    """``n_clusters`` identical clusters of ``nodes_per_cluster`` nodes."""
+    if n_clusters < 1 or nodes_per_cluster < 1:
+        raise ValueError("need >= 1 cluster and >= 1 node per cluster")
+    return Topology([ClusterSpec(f"{prefix}{i}", nodes_per_cluster)
+                     for i in range(n_clusters)])

@@ -1,0 +1,29 @@
+"""Orca-like runtime: shared objects, RPC, totally-ordered broadcast."""
+
+from .broadcast import BcastPayload, TotalOrderBroadcast
+from .objects import Blocked, ObjectSpec, Operation, Replica, estimate_bytes
+from .runtime import Context, OrcaRuntime
+from .sequencer import (
+    CentralizedSequencer,
+    DistributedSequencer,
+    MigratingSequencer,
+    SequencerProtocol,
+    make_sequencer,
+)
+
+__all__ = [
+    "BcastPayload",
+    "TotalOrderBroadcast",
+    "Blocked",
+    "ObjectSpec",
+    "Operation",
+    "Replica",
+    "estimate_bytes",
+    "Context",
+    "OrcaRuntime",
+    "CentralizedSequencer",
+    "DistributedSequencer",
+    "MigratingSequencer",
+    "SequencerProtocol",
+    "make_sequencer",
+]

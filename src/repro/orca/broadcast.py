@@ -1,0 +1,213 @@
+"""Totally-ordered broadcast with write-update function shipping.
+
+Every write to a replicated object becomes one logical broadcast:
+
+1. the sender ships the operation to the *stamping site* (which cluster
+   that is depends on the sequencer protocol — see
+   :mod:`repro.orca.sequencer`);
+2. the stamping site acquires the next global sequence number;
+3. the stamped operation is disseminated: a Myrinet multicast inside the
+   stamping cluster plus one WAN transfer per remote cluster, whose
+   gateway re-multicasts locally;
+4. every node applies broadcasts strictly in sequence order (a hold-back
+   queue reorders early arrivals), executing the operation against its
+   local replica — the function-shipping write-update;
+5. the sender's invocation completes when its *own* node has applied the
+   operation (the Orca completion rule).
+
+Total order is therefore global across all replicated objects, exactly as
+in the single-sequencer Orca runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
+
+from ..sim import Event, Simulator
+from ..network import Fabric
+from .sequencer import SequencerProtocol
+
+__all__ = ["TotalOrderBroadcast", "BcastPayload"]
+
+BCAST_PORT = "orca.bcast"
+
+#: Above this payload size the runtime switches from PB (ship the operation
+#: to the sequencer, which broadcasts it) to BB (ask the sequencer for a
+#: sequence number with a small control message and broadcast the payload
+#: from the *sender*), exactly like the Orca/FM implementation.
+BB_THRESHOLD = 8 * 1024
+SEQ_REQUEST_BYTES = 16
+
+
+@dataclass
+class BcastPayload:
+    seq: int
+    obj_name: str
+    op_name: str
+    args: tuple
+    sender: int
+
+
+@dataclass
+class _NodeDeliveryState:
+    next_expected: int = 0
+    holdback: Dict[int, BcastPayload] = field(default_factory=dict)
+    applied: list = field(default_factory=list)  # seq numbers, for asserts
+
+
+class TotalOrderBroadcast:
+    """The broadcast engine shared by all replicated objects."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric,
+                 protocol: SequencerProtocol,
+                 apply_fn: Callable[[int, BcastPayload], Generator],
+                 dedicated_sequencer_node: bool = False):
+        """``apply_fn(node, payload)`` is a generator provided by the
+        runtime that executes the operation on ``node``'s replica and
+        charges its CPU; it returns the op result."""
+        self.sim = sim
+        self.fabric = fabric
+        self.topo = fabric.topo
+        self.protocol = protocol
+        self.apply_fn = apply_fn
+        self._delivery = [_NodeDeliveryState() for _ in range(self.topo.n_nodes)]
+        # seq -> (sender node, completion event)
+        self._completions: Dict[int, Tuple[int, Event]] = {}
+        self._stat_broadcasts = 0
+        # Per-sender issue tickets: broadcasts from one node acquire their
+        # global sequence numbers in the order the node *issued* them, so
+        # asynchronous writes keep program order even when a later
+        # synchronous write races ahead of the spawned issue process.
+        self._issue_next: Dict[int, int] = {}
+        self._issue_turn: Dict[int, int] = {}
+        self._issue_waiters: Dict[int, Dict[int, Event]] = {}
+        # Stamping node per cluster: by default the first node of the
+        # cluster also runs the sequencer; the paper mentions using a
+        # dedicated node as cluster sequencer as a further optimization.
+        self._dedicated = dedicated_sequencer_node
+        for node in fabric.nodes:
+            sim.spawn(self._dispatcher(node.nid), name=f"bcastdisp{node.nid}")
+
+    # ----------------------------------------------------------------- API
+
+    def stamping_node(self, cluster: int) -> int:
+        nodes = self.topo.nodes_in(cluster)
+        # "Dedicated" sequencer: the last node of the cluster, which the
+        # harness then excludes from application work.
+        return nodes[-1] if self._dedicated else nodes[0]
+
+    def next_issue(self, sender: int) -> int:
+        """Allocate the sender-local issue ticket for a broadcast.
+
+        Must be called synchronously at the point the application issues
+        the write (``invoke``/``invoke_async``), then passed to
+        :meth:`broadcast`."""
+        ticket = self._issue_next.get(sender, 0)
+        self._issue_next[sender] = ticket + 1
+        return ticket
+
+    def _await_issue_turn(self, sender: int, issue: int) -> Generator:
+        while self._issue_turn.get(sender, 0) != issue:
+            gate = Event(self.sim)
+            self._issue_waiters.setdefault(sender, {})[issue] = gate
+            yield gate
+
+    def _advance_issue_turn(self, sender: int) -> None:
+        turn = self._issue_turn.get(sender, 0) + 1
+        self._issue_turn[sender] = turn
+        waiter = self._issue_waiters.get(sender, {}).pop(turn, None)
+        if waiter is not None:
+            waiter.succeed(None)
+
+    def broadcast(self, sender: int, obj_name: str, op_name: str,
+                  args: tuple, size: int,
+                  issue: Optional[int] = None) -> Generator:
+        """Sender-side flow; returns the op result from the sender's replica."""
+        if issue is None:
+            issue = self.next_issue(sender)
+        self._stat_broadcasts += 1
+        sender_cluster = self.topo.cluster_of(sender)
+        stamp_cluster = self.protocol.stamping_cluster(sender_cluster)
+        stamp_node = self.stamping_node(stamp_cluster)
+        bb_mode = size >= BB_THRESHOLD
+
+        # 1. Ship the operation — or, for large payloads (BB mode), just a
+        #    sequence-number request — to the stamping site.
+        if stamp_node != sender:
+            req_size = SEQ_REQUEST_BYTES if bb_mode else size
+            yield from self.fabric.send_and_wait(
+                sender, stamp_node, req_size, port="orca.seqreq")
+
+        # 2. Order.  Same-sender broadcasts take their tickets in issue
+        #    order; the acquire generator models token/migration delays.
+        yield from self._await_issue_turn(sender, issue)
+        seq = yield from self.protocol.acquire(stamp_cluster)
+        self._advance_issue_turn(sender)
+
+        payload = BcastPayload(seq=seq, obj_name=obj_name, op_name=op_name,
+                               args=args, sender=sender)
+        done = Event(self.sim)
+        self._completions[seq] = (sender, done)
+
+        if bb_mode and stamp_node != sender:
+            # The sequence number travels back; the sender disseminates.
+            yield from self.fabric.send_and_wait(
+                stamp_node, sender, SEQ_REQUEST_BYTES, port="orca.seqgrant")
+        origin = sender if bb_mode else stamp_node
+        origin_cluster = sender_cluster if bb_mode else stamp_cluster
+
+        # 3. Disseminate from the origin node, in the background.
+        self.sim.spawn(self._disseminate(origin, origin_cluster, payload,
+                                         size),
+                       name=f"dissem{seq}")
+
+        # 4./5. Wait until our own node applied it.
+        result = yield done
+        return result
+
+    # ------------------------------------------------------------ internals
+
+    def _disseminate(self, stamp_node: int, stamp_cluster: int,
+                     payload: BcastPayload, size: int) -> Generator:
+        waits = []
+        # Local multicast within the stamping cluster.
+        done = yield from self.fabric.multicast_local(
+            stamp_node, size, payload=payload, port=BCAST_PORT,
+            kind="bcast")
+        waits.append(done)
+        # One trip up the access link, then parallel WAN transfers on each
+        # PVC; every remote gateway re-multicasts into its cluster.
+        if self.topo.n_clusters > 1:
+            done = yield from self.fabric.wan_fanout_multicast(
+                stamp_node, size, payload=payload, port=BCAST_PORT,
+                kind="bcast")
+            waits.append(done)
+        yield self.sim.all_of(waits)
+
+    def _dispatcher(self, node: int) -> Generator:
+        """Per-node delivery: hold back until in order, then apply."""
+        st = self._delivery[node]
+        port = self.fabric.nodes[node].port(BCAST_PORT)
+        while True:
+            msg = yield port.get()
+            payload: BcastPayload = msg.payload
+            st.holdback[payload.seq] = payload
+            while st.next_expected in st.holdback:
+                current = st.holdback.pop(st.next_expected)
+                result = yield from self.apply_fn(node, current)
+                st.applied.append(current.seq)
+                st.next_expected += 1
+                completion = self._completions.get(current.seq)
+                if completion is not None and completion[0] == node:
+                    del self._completions[current.seq]
+                    completion[1].succeed(result)
+
+    # ------------------------------------------------------------- testing
+
+    def applied_sequence(self, node: int) -> list:
+        return list(self._delivery[node].applied)
+
+    @property
+    def broadcasts_sent(self) -> int:
+        return self._stat_broadcasts

@@ -1,0 +1,341 @@
+"""The Orca-like runtime system (RTS).
+
+Application processes interact with the RTS through a per-node
+:class:`Context`:
+
+* ``invoke(obj, op, *args)`` — the Orca shared-object abstraction.  The
+  runtime picks the protocol: local call, RPC to the owner, or
+  totally-ordered broadcast (write-update) for writes to replicated
+  objects.  Operations may block on guards (:class:`repro.orca.Blocked`).
+* ``send/receive`` — the lower-level asynchronous message primitives of
+  the Orca RTS, which the paper's RA and rewritten-in-C SOR use directly.
+* ``compute(seconds)`` — charge application compute to the node's CPU.
+
+All methods are generators to be driven with ``yield from`` inside a
+simulation process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..metrics.counters import TrafficMeter
+from ..network import Fabric, Message
+from ..sim import Event, Simulator
+from .broadcast import BcastPayload, TotalOrderBroadcast
+from .objects import Blocked, ObjectSpec, Operation, Replica
+from .sequencer import SequencerProtocol, make_sequencer
+
+__all__ = ["OrcaRuntime", "Context"]
+
+RPC_PORT = "orca.rpc"
+#: CPU cost of evaluating a guard that fails.
+GUARD_EVAL_COST = 1e-6
+
+_req_ids = itertools.count()
+
+
+@dataclass
+class _RpcRequest:
+    req_id: int
+    obj_name: str
+    op_name: str
+    args: tuple
+    caller: int
+    result_port: str
+    req_size: int
+
+
+class OrcaRuntime:
+    """One RTS instance per simulated machine configuration."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric,
+                 sequencer: str = "distributed",
+                 dedicated_sequencer_node: bool = False):
+        self.sim = sim
+        self.fabric = fabric
+        self.topo = fabric.topo
+        self.meter: TrafficMeter = fabric.meter
+        p = fabric.params
+        hop = (p.wan.latency + 2 * p.access.latency
+               + 2 * p.gateway.forward_cost)
+        self.protocol: SequencerProtocol = make_sequencer(
+            sequencer, sim, self.topo.n_clusters, hop)
+        self.tob = TotalOrderBroadcast(
+            sim, fabric, self.protocol, self._apply_bcast,
+            dedicated_sequencer_node=dedicated_sequencer_node)
+        self.specs: Dict[str, ObjectSpec] = {}
+        # Replicated objects: one replica per node.  Non-replicated: the
+        # owner's replica only, at [owner].
+        self._replicas: Dict[str, Dict[int, Replica]] = {}
+        for node in fabric.nodes:
+            sim.spawn(self._rpc_server(node.nid), name=f"rpcserver{node.nid}")
+
+    # --------------------------------------------------------------- setup
+
+    def register(self, spec: ObjectSpec) -> None:
+        """Instantiate a shared object (replicas on every node if replicated)."""
+        if spec.name in self.specs:
+            raise ValueError(f"object {spec.name!r} already registered")
+        self.specs[spec.name] = spec
+        if spec.replicated:
+            self._replicas[spec.name] = {
+                nid: Replica(spec, spec.state_factory())
+                for nid in range(self.topo.n_nodes)
+            }
+        else:
+            if not 0 <= spec.owner < self.topo.n_nodes:
+                raise ValueError(f"owner {spec.owner} out of range")
+            self._replicas[spec.name] = {
+                spec.owner: Replica(spec, spec.state_factory())
+            }
+
+    def context(self, node: int) -> "Context":
+        """The per-node handle application processes program against."""
+        if not 0 <= node < self.topo.n_nodes:
+            raise ValueError(f"node {node} out of range")
+        return Context(self, node)
+
+    def replica(self, obj_name: str, node: int) -> Replica:
+        """Direct replica access (tests/diagnostics only)."""
+        return self._replicas[obj_name][node]
+
+    def state_of(self, obj_name: str, node: Optional[int] = None) -> Any:
+        """Peek at object state (testing/reporting; no simulation cost)."""
+        spec = self.specs[obj_name]
+        nid = node if node is not None else (0 if spec.replicated else spec.owner)
+        return self._replicas[obj_name][nid].state
+
+    # ------------------------------------------------------------ execution
+
+    def _charge(self, node: int, seconds: float) -> Generator:
+        yield self.sim.spawn(self.fabric.nodes[node].cpu.execute(seconds))
+
+    def _execute_blocking(self, node: int, replica: Replica, op_name: str,
+                          args: tuple) -> Generator:
+        """Execute locally, waiting on the guard if necessary."""
+        op = replica.spec.op(op_name)
+        while True:
+            try:
+                result = replica.execute(op_name, args)
+            except Blocked:
+                yield from self._charge(node, GUARD_EVAL_COST)
+                gate = Event(self.sim)
+                replica.parked.append(("ev", gate))
+                yield gate
+                continue
+            yield from self._charge(node, op.cost(args))
+            return result
+
+    def _kick(self, owner: int, replica: Replica) -> None:
+        """A write succeeded: wake guard waiters, retry parked RPCs."""
+        if not replica.parked:
+            return
+        parked, replica.parked = replica.parked, []
+        retries = []
+        for tag, item in parked:
+            if tag == "ev":
+                item.succeed(None)
+            else:
+                retries.append(item)
+        if retries:
+            self.sim.spawn(self._retry_rpcs(owner, replica, retries),
+                           name="rpcretry")
+
+    def _retry_rpcs(self, owner: int, replica: Replica,
+                    requests: List[_RpcRequest]) -> Generator:
+        for req in requests:
+            yield from self._serve_request(owner, req)
+
+    # ------------------------------------------------------------------ RPC
+
+    def _rpc_server(self, node: int) -> Generator:
+        port = self.fabric.nodes[node].port(RPC_PORT)
+        while True:
+            msg = yield port.get()
+            # Serve concurrently: the operation itself executes atomically
+            # on arrival (Python-level), while the CPU charge and the reply
+            # proceed in their own process.  A serial server would bound
+            # RPC throughput by the CPU-queue wait behind application
+            # compute quanta, which a real interrupt-driven RTS does not.
+            self.sim.spawn(self._serve_request(node, msg.payload),
+                           name=f"rpcserve{node}")
+
+    def _serve_request(self, node: int, req: _RpcRequest) -> Generator:
+        replica = self._replicas[req.obj_name].get(node)
+        if replica is None:
+            raise RuntimeError(
+                f"RPC for {req.obj_name!r} arrived at non-owner node {node}")
+        op = replica.spec.op(req.op_name)
+        try:
+            result = replica.execute(req.op_name, req.args)
+        except Blocked:
+            yield from self._charge(node, GUARD_EVAL_COST)
+            replica.parked.append(("rpc", req))
+            return
+        yield from self._charge(node, op.cost(req.args))
+        if op.writes:
+            self._kick(node, replica)
+        result_size = op.result_size(result)
+        yield from self.fabric.send(
+            node, req.caller, result_size, payload=(result, result_size),
+            port=req.result_port, kind="rpc")
+
+    def _invoke_rpc(self, caller: int, spec: ObjectSpec, op: Operation,
+                    op_name: str, args: tuple) -> Generator:
+        req_id = next(_req_ids)
+        req = _RpcRequest(
+            req_id=req_id, obj_name=spec.name, op_name=op_name, args=args,
+            caller=caller, result_port=f"orca.rpcret.{req_id}",
+            req_size=op.args_size(args))
+        yield from self.fabric.send(caller, spec.owner, req.req_size,
+                                    payload=req, port=RPC_PORT, kind="rpc")
+        msg = yield self.fabric.nodes[caller].port(req.result_port).get()
+        result, result_size = msg.payload
+        self.meter.record(
+            "rpc", req.req_size + result_size,
+            intercluster=not self.topo.same_cluster(caller, spec.owner))
+        return result
+
+    # ------------------------------------------------------------ broadcast
+
+    def _apply_bcast(self, node: int, payload: BcastPayload) -> Generator:
+        """Apply one ordered write to this node's replica (function shipping)."""
+        replica = self._replicas[payload.obj_name][node]
+        op = replica.spec.op(payload.op_name)
+        result = replica.execute(payload.op_name, payload.args)
+        yield from self._charge(node, op.cost(payload.args))
+        self._kick(node, replica)
+        return result
+
+    # ----------------------------------------------------------- public ops
+
+    def invoke(self, node: int, obj_name: str, op_name: str,
+               args: tuple) -> Generator:
+        """Perform an Orca operation from ``node``, choosing the protocol:
+        local call, RPC to the owner, or totally-ordered broadcast."""
+        spec = self.specs[obj_name]
+        op = spec.op(op_name)
+        if spec.replicated:
+            if op.writes:
+                size = op.args_size(args)
+                self.meter.record("bcast", size,
+                                  intercluster=self.topo.n_clusters > 1)
+                issue = self.tob.next_issue(node)
+                result = yield from self.tob.broadcast(
+                    node, obj_name, op_name, args, size, issue=issue)
+                return result
+            replica = self._replicas[obj_name][node]
+            result = yield from self._execute_blocking(
+                node, replica, op_name, args)
+            return result
+        # Non-replicated.
+        if spec.owner == node:
+            replica = self._replicas[obj_name][node]
+            result = yield from self._execute_blocking(
+                node, replica, op_name, args)
+            if op.writes:
+                self._kick(node, replica)
+            return result
+        result = yield from self._invoke_rpc(node, spec, op, op_name, args)
+        return result
+
+
+class Context:
+    """Per-node handle used by application processes."""
+
+    def __init__(self, rts: OrcaRuntime, node: int):
+        self.rts = rts
+        self.node = node
+        self.sim = rts.sim
+        self.topo = rts.topo
+        self.cluster = rts.topo.cluster_of(node)
+
+    # -- Orca shared objects ------------------------------------------------
+    def invoke(self, obj_name: str, op_name: str, *args: Any) -> Generator:
+        """The Orca shared-object abstraction (see :meth:`OrcaRuntime.invoke`)."""
+        result = yield from self.rts.invoke(self.node, obj_name, op_name, args)
+        return result
+
+    def invoke_async(self, obj_name: str, op_name: str, *args: Any):
+        """Asynchronous write to a replicated object (the paper's proposed
+        ACP optimization): the broadcast is issued but the caller does not
+        wait for its own copy to be updated.  Returns the completion event
+        for callers that want to flush later.  Total order is preserved —
+        only the *blocking* is removed."""
+        spec = self.rts.specs[obj_name]
+        op = spec.op(op_name)
+        if not (spec.replicated and op.writes):
+            raise ValueError(
+                "invoke_async is only meaningful for writes to replicated "
+                f"objects; {obj_name}.{op_name} is not one")
+        size = op.args_size(args)
+        self.rts.meter.record("bcast", size,
+                              intercluster=self.topo.n_clusters > 1)
+        issue = self.rts.tob.next_issue(self.node)
+        return self.sim.spawn(
+            self.rts.tob.broadcast(self.node, obj_name, op_name, args, size,
+                                   issue=issue),
+            name="asyncbcast")
+
+    # -- low-level messages (Orca RTS primitives) ----------------------------
+    def send(self, dst: int, size: int, payload: Any = None,
+             port: str = "app", kind: str = "msg") -> Generator:
+        """Asynchronous send; returns after the sender-side overhead.
+
+        ``kind`` is the traffic-accounting bucket ("msg" for application
+        messages; the core library uses "proto" for internal protocol
+        messages it accounts for logically, and "rpc" for request/reply
+        style messages).
+        """
+        self.rts.meter.record(
+            kind, size, intercluster=not self.topo.same_cluster(self.node, dst))
+        yield from self.rts.fabric.send(self.node, dst, size, payload,
+                                        port=port, kind=kind)
+
+    def send_wait(self, dst: int, size: int, payload: Any = None,
+                  port: str = "app", kind: str = "msg") -> Generator:
+        """Synchronous send: blocks until delivered at the receiver."""
+        self.rts.meter.record(
+            kind, size, intercluster=not self.topo.same_cluster(self.node, dst))
+        msg = yield from self.rts.fabric.send_and_wait(
+            self.node, dst, size, payload, port=port, kind=kind)
+        return msg
+
+    def receive(self, port: str = "app") -> Generator:
+        """Block until a message arrives on ``port``; returns the Message."""
+        msg = yield self.rts.fabric.nodes[self.node].port(port).get()
+        return msg
+
+    def try_receive(self, port: str = "app") -> Optional[Message]:
+        """Non-blocking receive: the next message or ``None``."""
+        return self.rts.fabric.nodes[self.node].port(port).try_get()
+
+    # -- compute -------------------------------------------------------------
+    #: compute is charged in quanta so incoming protocol work (RPC service,
+    #: broadcast application) interleaves with it, the way interrupt-driven
+    #: message handling preempts user code on a real node.
+    COMPUTE_QUANTUM = 1e-3
+
+    def compute(self, seconds: float, quantum: Optional[float] = None) -> Generator:
+        """Charge application compute to this node's CPU, in quanta."""
+        if seconds < 0:
+            raise ValueError(f"negative compute time: {seconds}")
+        q = quantum if quantum is not None else self.COMPUTE_QUANTUM
+        cpu = self.rts.fabric.nodes[self.node].cpu
+        remaining = seconds
+        while remaining > 0:
+            step = remaining if remaining <= q else q
+            yield self.sim.spawn(cpu.execute(step, priority=1))
+            remaining -= step
+
+    def sleep(self, seconds: float) -> Generator:
+        """Idle wait (no CPU occupancy)."""
+        yield self.sim.timeout(seconds)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.sim.now

@@ -1,0 +1,34 @@
+"""Discrete-event simulation engine (the bottom of the substrate stack)."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .primitives import CPU, Barrier, Channel, Resource
+from .rng import derive_seed, substream
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "CPU",
+    "Barrier",
+    "Channel",
+    "Resource",
+    "derive_seed",
+    "substream",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,351 @@
+"""Discrete-event simulation core.
+
+The engine is a classic event-heap scheduler.  Simulated activities are
+Python generators (wrapped by :class:`Process`) that yield :class:`Event`
+objects; the engine resumes a generator when the event it waits on fires.
+
+Virtual time is a ``float`` in seconds.  The engine is fully deterministic:
+events scheduled for the same instant fire in schedule order (a monotonically
+increasing tie-break counter guarantees this), so every simulation run with
+the same inputs produces bit-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Simulator",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation API (not for modeled failures)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    triggers it, schedules its callbacks, and records a value that is sent
+    into every waiting process.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_default")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._scheduled = False
+        self._default: Any = None  # value assumed when fired straight off the heap
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event; ``value`` is sent to every waiting process."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._post(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters receive the exception."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self.sim._post(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._default = value
+        sim._post(self, delay=delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev.triggered:
+                self._on_fire(ev)
+            else:
+                ev.callbacks.append(self._on_fire)
+
+    def _on_fire(self, ev: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* component events have fired; value is their values."""
+
+    __slots__ = ()
+
+    def _on_fire(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self._n_fired += 1
+        if self._n_fired == len(self.events):
+            self.succeed([e._value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires as soon as *any* component event fires; value is (event, value)."""
+
+    __slots__ = ()
+
+    def _on_fire(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self.succeed((ev, ev._value))
+
+
+class Process(Event):
+    """Wraps a generator; the process event fires when the generator returns.
+
+    The generator yields :class:`Event` objects.  The yielded event's value is
+    sent back into the generator when it fires; failed events are thrown in as
+    exceptions, so processes can use ordinary ``try/except``.
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"Process requires a generator, got {gen!r}")
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at the current instant.
+        start = Event(sim)
+        start.callbacks.append(self._resume)
+        start.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self.triggered:
+            return
+        waited = self._waiting_on
+        if waited is not None and not waited.triggered:
+            # Detach from the event we were waiting on.
+            try:
+                waited.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):
+                pass
+        self._waiting_on = None
+        kick = Event(self.sim)
+        kick.callbacks.append(self._resume)
+        kick.fail(Interrupt(cause))
+
+    def _resume(self, ev: Event) -> None:
+        if self.triggered:  # already finished (e.g. interrupted mid-wait)
+            return
+        self._waiting_on = None
+        try:
+            if ev._ok:
+                target = self.gen.send(ev._value)
+            else:
+                target = self.gen.throw(ev._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.gen.throw(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}, expected an Event"
+                )
+            )
+            return
+        if target.processed:
+            # Already fired and processed: resume immediately (next tick).
+            kick = Event(self.sim)
+            kick.callbacks.append(self._resume)
+            kick._value = target._value
+            kick._ok = target._ok
+            self.sim._post(kick)
+            self._waiting_on = kick
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class Simulator:
+    """The event loop: a heap of ``(time, seq, event)`` entries."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._running = False
+
+    # -- event factory helpers -------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new simulation process from a generator."""
+        return Process(self, gen, name=name)
+
+    # -- scheduling -------------------------------------------------------
+    def _post(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError("event already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` at absolute virtual time ``when`` (>= now)."""
+        if when < self.now:
+            raise SimulationError(f"call_at past time {when} < now {self.now}")
+        ev = Timeout(self, when - self.now)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    # -- main loop --------------------------------------------------------
+    def step(self) -> None:
+        """Process the next scheduled event (advances the clock)."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        if event._value is PENDING:  # scheduled directly (Timeout): fire now
+            event._value = event._default
+            event._ok = True
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks is None:
+            return
+        for cb in callbacks:
+            cb(event)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap is empty or virtual time passes ``until``.
+
+        Returns the final virtual time.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                when = self._heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self.now
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Spawn ``gen``, run to completion, and return its value.
+
+        Raises the process's exception if it failed, and
+        :class:`SimulationError` if the simulation deadlocks before the
+        process finishes (usually a process waiting on a message that is
+        never sent).
+        """
+        proc = self.spawn(gen, name=name)
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            # Stop as soon as the process completes so orphaned timers
+            # (e.g. abandoned timeouts) do not advance the clock further.
+            while self._heap and not proc.triggered:
+                self.step()
+        finally:
+            self._running = False
+        if not proc.triggered:
+            raise SimulationError(
+                f"deadlock: process {proc.name!r} never finished "
+                f"(simulation ran dry at t={self.now})"
+            )
+        if not proc._ok:
+            raise proc._value
+        return proc._value

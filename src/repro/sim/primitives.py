@@ -1,0 +1,181 @@
+"""Synchronization and queuing primitives on top of the event engine.
+
+These are the building blocks the network and runtime layers use:
+
+* :class:`Channel` — an unbounded FIFO mailbox (message delivery).
+* :class:`Resource` — a counted FIFO resource (CPUs, link capacity).
+* :class:`CPU` — a single-server resource with an ``execute(seconds)``
+  convenience used to charge compute and protocol-overhead time.
+* :class:`Barrier` — rendezvous for a fixed number of parties.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["Channel", "Resource", "CPU", "Barrier"]
+
+
+class Channel:
+    """Unbounded FIFO channel; ``get()`` blocks until an item is available."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes the oldest waiting getter, if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:  # skip interrupted/cancelled getters
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get: an item or ``None``."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+
+class Resource:
+    """A counted resource with FIFO granting per priority level.
+
+    Two priority levels: 0 (urgent — protocol/interrupt work) and 1
+    (background — application compute).  Level-0 waiters are always
+    granted before level-1 waiters; within a level the order is FIFO.
+    This mirrors interrupt-driven message handling preempting user
+    compute between quanta on a real node.
+
+    Usage from a process::
+
+        grant = yield resource.request()
+        ...
+        resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1: {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()       # priority 0
+        self._low_waiters: Deque[Event] = deque()   # priority 1
+        # Occupancy accounting (for utilization reports).
+        self._busy_time = 0.0
+        self._last_change = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters) + len(self._low_waiters)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def busy_time(self) -> float:
+        """Integral of in-use servers over time (divide by elapsed for util)."""
+        self._account()
+        return self._busy_time
+
+    def request(self, priority: int = 0) -> Event:
+        """Ask for one slot; the returned event fires when granted."""
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            ev.succeed(self)
+        elif priority <= 0:
+            self._waiters.append(ev)
+        else:
+            self._low_waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return a slot; the next waiter (urgent first) is granted."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        for queue in (self._waiters, self._low_waiters):
+            while queue:
+                waiter = queue.popleft()
+                if not waiter.triggered:
+                    waiter.succeed(self)  # hand the slot over directly
+                    return
+        self._account()
+        self._in_use -= 1
+
+
+class CPU(Resource):
+    """A single-server CPU; ``execute`` charges busy time FIFO.
+
+    All compute *and* per-message protocol overhead on a node goes through
+    its CPU, so a node flooded with incoming messages genuinely loses
+    compute throughput — the mechanism behind RA's WAN collapse.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        super().__init__(sim, capacity=1, name=name)
+
+    def execute(self, seconds: float, priority: int = 0) -> Generator:
+        """Process-style: occupy the CPU for ``seconds`` of virtual time.
+
+        ``priority=0`` (default) is protocol/interrupt work; application
+        compute quanta use ``priority=1`` so message handling preempts
+        them at quantum boundaries."""
+        if seconds < 0:
+            raise SimulationError(f"negative execute time: {seconds}")
+        yield self.request(priority)
+        try:
+            yield self.sim.timeout(seconds)
+        finally:
+            self.release()
+
+
+class Barrier:
+    """A reusable barrier for a fixed number of parties."""
+
+    def __init__(self, sim: Simulator, parties: int, name: str = ""):
+        if parties < 1:
+            raise SimulationError(f"barrier parties must be >= 1: {parties}")
+        self.sim = sim
+        self.parties = parties
+        self.name = name
+        self._arrived = 0
+        self._gate = Event(sim)
+        self.generation = 0
+
+    def wait(self) -> Event:
+        """Return an event that fires when all parties have arrived."""
+        self._arrived += 1
+        gate = self._gate
+        if self._arrived == self.parties:
+            self._arrived = 0
+            self._gate = Event(self.sim)
+            self.generation += 1
+            gate.succeed(self.generation)
+        return gate

@@ -1,0 +1,57 @@
+"""Event tracing for debugging and for the traffic accounting tables.
+
+A :class:`Tracer` is a cheap append-only log of ``(time, kind, detail)``
+records.  It is off by default; the experiment harness enables it when a
+table needs per-event data (e.g. Tables 4/5 intercluster traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    kind: str
+    detail: Dict[str, Any]
+
+
+@dataclass
+class Tracer:
+    enabled: bool = False
+    records: List[TraceRecord] = field(default_factory=list)
+    # Optional live filter: kinds to keep (None = keep all).
+    kinds: Optional[frozenset] = None
+
+    def emit(self, time: float, kind: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.records.append(TraceRecord(time, kind, detail))
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def select(self, kind: str, pred: Optional[Callable[[TraceRecord], bool]] = None
+               ) -> List[TraceRecord]:
+        out = [r for r in self.records if r.kind == kind]
+        if pred is not None:
+            out = [r for r in out if pred(r)]
+        return out
+
+    def span(self) -> Tuple[float, float]:
+        """(first, last) record times; (0, 0) when empty."""
+        if not self.records:
+            return (0.0, 0.0)
+        return (self.records[0].time, self.records[-1].time)
+
+    def clear(self) -> None:
+        self.records.clear()

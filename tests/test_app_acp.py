@@ -1,0 +1,82 @@
+"""Tests for the ACP application."""
+
+import pytest
+
+from repro.apps.acp import ACPApp, ACPParams
+from repro.apps.acp import csp
+from repro.harness import run_app
+
+
+# ----------------------------------------------------------------- domain
+
+
+def test_network_arcs_are_paired():
+    net = csp.build_network(ACPParams.small())
+    for x, arcs in net.arcs.items():
+        for y, _sup in arcs:
+            assert any(back == x for back, _ in net.arcs_of(y))
+
+
+def test_revise_keeps_supported_values_only():
+    # supports: value 0 supported by {0}, value 1 by {2,3}, value 2 by none.
+    supports = [0b0001, 0b1100, 0b0000]
+    new, checks = csp.revise(0b111, 0b1101, supports)
+    assert new == 0b011
+    assert checks == 3
+
+
+def test_revise_empty_domain_is_noop():
+    new, checks = csp.revise(0, 0b1111, [0b1111] * 4)
+    assert new == 0 and checks == 0
+
+
+def test_popcount():
+    assert csp.popcount(0) == 0
+    assert csp.popcount(0b1011) == 3
+
+
+def test_sequential_reference_is_a_fixpoint():
+    params = ACPParams.small()
+    net = csp.build_network(params)
+    domains = csp.sequential_reference(params)
+    for x in range(net.n_vars):
+        for y, supports in net.arcs_of(x):
+            new, _ = csp.revise(domains[x], domains[y], supports)
+            assert new == domains[x], f"variable {x} not arc consistent"
+
+
+def test_reference_actually_prunes_something():
+    params = ACPParams.small()
+    domains = csp.sequential_reference(params)
+    assert any(d != params.full_domain for d in domains)
+
+
+# ------------------------------------------------------------ application
+
+
+@pytest.mark.parametrize("variant", ["original", "optimized"])
+@pytest.mark.parametrize("shape", [(1, 1), (2, 2), (4, 2)])
+def test_acp_reaches_the_unique_closure(variant, shape):
+    params = ACPParams.small()
+    ref = csp.sequential_reference(params)
+    res = run_app(ACPApp(), variant, shape[0], shape[1], params)
+    assert res.answer == ref
+
+
+def test_acp_broadcast_heavy():
+    params = ACPParams.small()
+    res = run_app(ACPApp(), "original", 2, 2, params)
+    assert res.traffic["inter.bcast"]["count"] > res.stats["prunings"]
+
+
+def test_acp_async_variant_faster_on_multicluster():
+    params = ACPParams.small(n_vars=120, n_constraints=360)
+    orig = run_app(ACPApp(), "original", 4, 2, params)
+    opt = run_app(ACPApp(), "optimized", 4, 2, params)
+    assert opt.elapsed < orig.elapsed
+
+
+def test_acp_rounds_bounded():
+    params = ACPParams.small()
+    res = run_app(ACPApp(), "original", 2, 2, params)
+    assert 1 <= res.stats["rounds"] < 50

@@ -1,0 +1,81 @@
+"""Tests for the ASP application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.asp import ASPApp, ASPParams
+from repro.apps.asp import graph
+from repro.harness import run_app
+
+
+# ----------------------------------------------------------------- domain
+
+
+def test_random_graph_shape_and_diagonal():
+    p = ASPParams.small(n_vertices=20)
+    d = graph.random_graph(p)
+    assert d.shape == (20, 20)
+    assert (np.diag(d) == 0).all()
+
+
+def test_sequential_reference_satisfies_triangle_inequality():
+    p = ASPParams.small(n_vertices=24)
+    d = graph.sequential_reference(p)
+    # d[i,j] <= d[i,k] + d[k,j] for all triples (spot-check a sample).
+    for k in range(0, 24, 5):
+        assert (d <= d[:, k, None] + d[None, k, :]).all()
+
+
+def test_relax_block_matches_naive():
+    p = ASPParams.small(n_vertices=16)
+    d = graph.random_graph(p)
+    block = d[:4].copy()
+    expected = np.minimum(block, block[:, 7, None] + d[7][None, :])
+    graph.relax_block(block, block[:, 7].copy(), d[7])
+    np.testing.assert_array_equal(block, expected)
+
+
+# ------------------------------------------------------------ application
+
+
+@pytest.mark.parametrize("variant", ["original", "optimized"])
+@pytest.mark.parametrize("shape", [(1, 1), (1, 4), (2, 3), (4, 2)])
+def test_asp_matches_sequential_reference(variant, shape):
+    params = ASPParams.small(n_vertices=30)
+    ref = graph.sequential_reference(params)
+    res = run_app(ASPApp(), variant, shape[0], shape[1], params)
+    np.testing.assert_array_equal(res.answer, ref)
+
+
+def test_asp_broadcast_count_equals_vertices():
+    params = ASPParams.small(n_vertices=24)
+    res = run_app(ASPApp(), "original", 2, 3, params)
+    bcasts = res.traffic["inter.bcast"]["count"]
+    assert bcasts == 24
+
+
+def test_asp_optimized_uses_migrating_sequencer():
+    assert ASPApp().sequencer_for("optimized") == "migrating"
+    assert ASPApp().sequencer_for("original") == "distributed"
+
+
+def test_asp_optimized_faster_on_multicluster():
+    params = ASPParams.paper().with_(n_vertices=120)
+    orig = run_app(ASPApp(), "original", 4, 4, params)
+    opt = run_app(ASPApp(), "optimized", 4, 4, params)
+    assert opt.elapsed < 0.8 * orig.elapsed
+
+
+def test_asp_single_cluster_variants_equivalent():
+    # With one cluster there is no WAN: both sequencers behave the same.
+    params = ASPParams.paper().with_(n_vertices=60)
+    orig = run_app(ASPApp(), "original", 1, 6, params)
+    opt = run_app(ASPApp(), "optimized", 1, 6, params)
+    assert opt.elapsed == pytest.approx(orig.elapsed, rel=0.05)
+
+
+def test_asp_multicluster_much_slower_for_original():
+    params = ASPParams.paper().with_(n_vertices=120)
+    one = run_app(ASPApp(), "original", 1, 16, params)
+    four = run_app(ASPApp(), "original", 4, 4, params)
+    assert four.elapsed > 2 * one.elapsed

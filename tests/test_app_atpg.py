@@ -1,0 +1,103 @@
+"""Tests for the ATPG application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.atpg import ATPGApp, ATPGParams
+from repro.apps.atpg import circuit as cmod
+from repro.harness import run_app
+from repro.network import SLOW_WAN_PARAMS
+
+
+# ----------------------------------------------------------------- domain
+
+
+def test_circuit_topological_and_deterministic():
+    p = ATPGParams.small()
+    c1 = cmod.build_circuit(p)
+    c2 = cmod.build_circuit(p)
+    assert c1.gates == c2.gates
+    for g, (op, a, b) in enumerate(c1.gates):
+        assert a < p.n_inputs + g and b < p.n_inputs + g
+
+
+def test_circuit_evaluation_basic_ops():
+    c = cmod.Circuit(2, [("AND", 0, 1), ("OR", 0, 1), ("XOR", 0, 1),
+                         ("NOT", 0, 0), ("OR", 2, 5)])
+    # Output = (a AND b) OR (NOT a)
+    assert c.evaluate(np.array([1, 1], dtype=np.int8)) == 1
+    assert c.evaluate(np.array([1, 0], dtype=np.int8)) == 0
+    assert c.evaluate(np.array([0, 1], dtype=np.int8)) == 1
+
+
+def test_fault_injection_changes_output():
+    c = cmod.Circuit(2, [("AND", 0, 1)])
+    vec = np.array([1, 1], dtype=np.int8)
+    assert c.evaluate(vec) == 1
+    assert c.evaluate(vec, fault=(0, 0)) == 0
+
+
+def test_generate_for_gate_detects_faults():
+    p = ATPGParams.small(n_gates=40)
+    c = cmod.build_circuit(p)
+    total = sum(cmod.generate_for_gate(c, g, p)[1] for g in range(40))
+    assert total > 10  # a healthy fraction of faults is detectable
+
+
+def test_synthetic_effort_deterministic():
+    p = ATPGParams.paper()
+    a = [cmod.synthetic_gate_effort(p, g) for g in range(30)]
+    b = [cmod.synthetic_gate_effort(p, g) for g in range(30)]
+    assert a == b
+    assert all(t >= 1 for _, _, t in a)
+
+
+# ------------------------------------------------------------ application
+
+
+@pytest.mark.parametrize("variant", ["original", "optimized"])
+@pytest.mark.parametrize("shape", [(1, 1), (2, 3), (4, 2)])
+def test_atpg_totals_match_reference(variant, shape):
+    params = ATPGParams.small(n_gates=60)
+    ref = cmod.sequential_reference(params)
+    res = run_app(ATPGApp(), variant, shape[0], shape[1], params)
+    assert res.answer == ref
+
+
+def test_atpg_variants_agree_synthetic():
+    params = ATPGParams.paper().with_(n_gates=120)
+    a = run_app(ATPGApp(), "original", 2, 4, params)
+    b = run_app(ATPGApp(), "optimized", 2, 4, params)
+    assert a.answer == b.answer
+
+
+def test_atpg_optimized_single_intercluster_rpc_per_cluster():
+    params = ATPGParams.paper().with_(n_gates=120)
+    res = run_app(ATPGApp(), "optimized", 4, 4, params)
+    # cluster_reduce: one combined RPC from each non-root cluster.
+    assert res.traffic["inter.rpc"]["count"] == 3
+
+
+def test_atpg_original_many_intercluster_rpcs():
+    params = ATPGParams.paper().with_(n_gates=120)
+    res = run_app(ATPGApp(), "original", 4, 4, params)
+    assert res.traffic["inter.rpc"]["count"] > 50
+
+
+def test_atpg_das_settings_optimization_insignificant():
+    """Paper: at DAS bandwidth/latency the optimization hardly helps."""
+    params = ATPGParams.paper().with_(n_gates=240)
+    orig = run_app(ATPGApp(), "original", 4, 4, params)
+    opt = run_app(ATPGApp(), "optimized", 4, 4, params)
+    assert opt.elapsed < orig.elapsed * 1.02
+    assert opt.elapsed > orig.elapsed * 0.7  # helps, but not dramatically
+
+
+def test_atpg_slow_wan_optimization_significant():
+    """Paper: on a 10 ms / 2 Mbit/s network the original degrades badly."""
+    params = ATPGParams.paper().with_(n_gates=240)
+    orig = run_app(ATPGApp(), "original", 4, 4, params,
+                   network=SLOW_WAN_PARAMS)
+    opt = run_app(ATPGApp(), "optimized", 4, 4, params,
+                  network=SLOW_WAN_PARAMS)
+    assert opt.elapsed < orig.elapsed * 0.9

@@ -1,0 +1,110 @@
+"""Tests for the IDA* application."""
+
+import pytest
+
+from repro.apps.ida import IDAApp, IDAParams
+from repro.apps.ida import puzzle
+from repro.harness import run_app
+
+
+# ----------------------------------------------------------------- domain
+
+
+def test_scrambled_is_solvable_permutation():
+    p = IDAParams.small()
+    state = puzzle.scrambled(p)
+    assert sorted(state) == list(range(16))
+    assert state != puzzle.GOAL
+
+
+def test_manhattan_goal_is_zero():
+    assert puzzle.manhattan(puzzle.GOAL) == 0
+
+
+def test_manhattan_single_swap():
+    state = list(puzzle.GOAL)
+    state[14], state[15] = state[15], state[14]  # move tile 15 right
+    assert puzzle.manhattan(tuple(state)) == 1
+
+
+def test_expand_no_backtrack():
+    children = puzzle.expand(puzzle.GOAL, last_blank=-1)
+    blank = puzzle.GOAL.index(0)  # 15
+    assert len(children) == len(puzzle.NEIGHBORS[blank])
+    # Forbid going straight back.
+    child, old_blank = children[0]
+    grand = puzzle.expand(child, old_blank)
+    assert all(g.index(0) != blank or True for g, _ in grand)
+    assert len(grand) == len(puzzle.NEIGHBORS[child.index(0)]) - 1
+
+
+def test_dfs_finds_goal_at_heuristic_bound():
+    p = IDAParams.small(scramble_moves=8)
+    root = puzzle.scrambled(p)
+    bound, solutions, nodes = puzzle.sequential_reference(p)
+    assert solutions >= 1
+    assert bound >= puzzle.manhattan(root)
+    assert bound <= 8  # random walk of 8 is an upper bound on distance
+    assert nodes > 0
+
+
+def test_generate_jobs_frontier_size():
+    p = IDAParams.small()
+    root, jobs = puzzle.generate_jobs(p)
+    assert len(jobs) >= 4  # no-backtrack expansion: >= 2 children per level
+    assert all(g == p.frontier_depth for _, g, _ in jobs
+               if _ != puzzle.GOAL or True)
+
+
+def test_synthetic_job_nodes_grow_with_iteration():
+    p = IDAParams.paper()
+    for j in range(5):
+        sizes = [puzzle.synthetic_job_nodes(p, j, i) for i in range(3)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+
+# ------------------------------------------------------------ application
+
+
+@pytest.mark.parametrize("variant", ["original", "optimized"])
+@pytest.mark.parametrize("shape", [(1, 1), (2, 2), (4, 2)])
+def test_ida_matches_sequential_reference(variant, shape):
+    params = IDAParams.small(scramble_moves=10)
+    ref = puzzle.sequential_reference(params)
+    res = run_app(IDAApp(), variant, shape[0], shape[1], params)
+    assert res.answer == ref
+
+
+def test_ida_synthetic_processes_all_jobs_every_iteration():
+    params = IDAParams.paper().with_(synth_iterations=2)
+    res = run_app(IDAApp(), "original", 2, 4, params)
+    bound, solutions, nodes = res.answer
+    expected = sum(puzzle.synthetic_job_nodes(params, j, i)
+                   for j in range(params.synth_jobs) for i in range(2))
+    assert nodes == expected
+    assert solutions == 1
+
+
+def test_ida_optimized_reduces_remote_steals():
+    params = IDAParams.paper().with_(synth_iterations=3)
+    orig = run_app(IDAApp(), "original", 4, 4, params)
+    opt = run_app(IDAApp(), "optimized", 4, 4, params)
+    assert opt.stats["remote"] <= orig.stats["remote"]
+    assert orig.stats["requests"] > 0
+
+
+def test_ida_speedup_barely_changes_with_optimization():
+    """Paper: the steal optimizations halve intercluster requests but the
+    speedup hardly moves (load balance is already good)."""
+    params = IDAParams.paper().with_(synth_iterations=3)
+    orig = run_app(IDAApp(), "original", 4, 4, params)
+    opt = run_app(IDAApp(), "optimized", 4, 4, params)
+    assert opt.elapsed == pytest.approx(orig.elapsed, rel=0.15)
+
+
+def test_ida_multicluster_performs_well():
+    """Paper Figure 11: IDA* runs close to the single-cluster bound."""
+    params = IDAParams.paper().with_(synth_iterations=3)
+    one = run_app(IDAApp(), "original", 1, 16, params)
+    four = run_app(IDAApp(), "original", 4, 4, params)
+    assert four.elapsed < 1.4 * one.elapsed

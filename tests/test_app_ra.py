@@ -1,0 +1,88 @@
+"""Tests for the RA application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.ra import RAApp, RAParams
+from repro.apps.ra import game
+from repro.harness import run_app
+
+
+# ----------------------------------------------------------------- domain
+
+
+def test_game_graph_is_forward_dag():
+    g = game.build_game(RAParams.small())
+    for v, succ in enumerate(g.succs):
+        assert (succ > v).all()
+
+
+def test_game_graph_pred_succ_consistency():
+    g = game.build_game(RAParams.small())
+    for v, succ in enumerate(g.succs):
+        for w in succ:
+            assert v in g.preds[int(w)]
+
+
+def test_game_has_terminals():
+    g = game.build_game(RAParams.small())
+    terminals = [v for v in range(g.n) if len(g.succs[v]) == 0]
+    assert terminals, "a game with no terminals never resolves"
+    assert g.n - 1 in terminals  # the last position has no room for moves
+
+
+def test_sequential_reference_rules():
+    params = RAParams.small(n_positions=200)
+    g = game.build_game(params)
+    vals = game.sequential_reference(params)
+    assert (vals != game.UNDETERMINED).all()
+    for v in range(g.n):
+        s = g.succs[v]
+        if len(s) == 0:
+            assert vals[v] == game.LOSS
+        elif (vals[s] == game.LOSS).any():
+            assert vals[v] == game.WIN
+        else:
+            assert vals[v] == game.LOSS
+
+
+# ------------------------------------------------------------ application
+
+
+@pytest.mark.parametrize("variant", ["original", "optimized"])
+@pytest.mark.parametrize("shape", [(1, 1), (2, 2), (4, 2)])
+def test_ra_matches_sequential_reference(variant, shape):
+    params = RAParams.small(n_positions=400)
+    ref = game.sequential_reference(params)
+    res = run_app(RAApp(), variant, shape[0], shape[1], params)
+    assert res.answer["determined"] == params.n_positions
+    assert res.answer["wins"] == int((ref == game.WIN).sum())
+    assert res.answer["losses"] == int((ref == game.LOSS).sum())
+
+
+def test_ra_optimized_reduces_wan_messages():
+    params = RAParams.paper().with_(n_positions=6000)
+    orig = run_app(RAApp(), "original", 2, 3, params)
+    opt = run_app(RAApp(), "optimized", 2, 3, params)
+    ow = orig.traffic["wan"]["count"]
+    nw = opt.traffic["wan"]["count"]
+    assert nw < ow
+
+
+def test_ra_multicluster_much_slower_than_single():
+    """Paper Figure 9: RA collapses on the WAN (speedup < 1 on 4x15)."""
+    params = RAParams.paper().with_(n_positions=6000)
+    one = run_app(RAApp(), "original", 1, 8, params)
+    four = run_app(RAApp(), "original", 4, 2, params)
+    assert four.elapsed > 2 * one.elapsed
+
+
+def test_ra_optimized_improves_but_stays_slow():
+    """Paper: combining buys ~2x but multicluster stays worse than one
+    cluster of the same per-cluster size."""
+    params = RAParams.paper().with_(n_positions=6000)
+    orig = run_app(RAApp(), "original", 4, 2, params)
+    opt = run_app(RAApp(), "optimized", 4, 2, params)
+    lower = run_app(RAApp(), "optimized", 1, 2, params)
+    assert opt.elapsed < orig.elapsed
+    assert opt.elapsed > lower.elapsed  # still unsuitable for the WAN

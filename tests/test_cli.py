@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "water" in out and "fig15" in out
+
+
+def test_cli_table1(capsys):
+    assert main(["table", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "RPC" in out
+
+
+def test_cli_table_unknown(capsys):
+    assert main(["table", "3"]) == 2
+
+
+def test_cli_figure_small(capsys):
+    assert main(["figure", "fig7", "--cpus", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out and "speedup" in out
+
+
+def test_cli_figure_unknown():
+    assert main(["figure", "fig99"]) == 2
+
+
+def test_cli_app_run(capsys):
+    assert main(["app", "atpg", "--variant", "optimized",
+                 "--clusters", "2", "--nodes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "atpg/optimized on 2x2" in out
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,163 @@
+"""Unit tests for the cluster-level cache (Water's optimization)."""
+
+import pytest
+
+from repro.core import ClusterCache
+from repro.network import DAS_PARAMS, Fabric, uniform_clusters
+from repro.orca import OrcaRuntime
+from repro.sim import Simulator
+
+
+def make(n_clusters=2, nodes_per_cluster=4):
+    sim = Simulator()
+    fabric = Fabric(sim, uniform_clusters(n_clusters, nodes_per_cluster),
+                    DAS_PARAMS)
+    rts = OrcaRuntime(sim, fabric)
+    cache = ClusterCache(rts, reduce_fn=lambda a, b: a + b)
+    # Every node provides "block of node n at epoch e" = n * 1000 + e.
+    for nid in range(fabric.topo.n_nodes):
+        cache.register_provider(
+            nid, lambda e, nid=nid: (nid * 1000 + e, 256))
+    return sim, rts, cache
+
+
+def test_same_cluster_fetch_goes_direct():
+    sim, rts, cache = make()
+
+    def proc():
+        ctx = rts.context(1)
+        val = yield from cache.fetch(ctx, owner=2, epoch=0)
+        return val
+
+    assert sim.run_process(proc()) == 2000
+    assert cache.wan_fetches == 0
+    assert rts.meter.wan_messages == 0
+
+
+def test_remote_fetch_crosses_wan_once():
+    sim, rts, cache = make()
+
+    def proc():
+        ctx = rts.context(0)
+        val = yield from cache.fetch(ctx, owner=5, epoch=3)
+        return val
+
+    assert sim.run_process(proc()) == 5003
+    assert cache.wan_fetches == 1
+
+
+def test_second_reader_hits_cache_no_second_wan_fetch():
+    sim, rts, cache = make()
+    owner = 5
+    coord = cache.coordinator_for(0, owner)
+    vals = []
+
+    def reader(nid, delay):
+        ctx = rts.context(nid)
+        yield from ctx.sleep(delay)
+        val = yield from cache.fetch(ctx, owner=owner, epoch=0)
+        vals.append(val)
+
+    # Two readers in cluster 0 (neither is the coordinator necessarily).
+    readers = [nid for nid in range(4) if nid != coord][:2]
+    sim.spawn(reader(readers[0], 0.0))
+    sim.spawn(reader(readers[1], 0.05))  # well after the first completes
+    sim.run()
+    assert vals == [5000, 5000]
+    assert cache.wan_fetches == 1
+    assert cache.cache_hits == 1
+
+
+def test_concurrent_readers_share_one_inflight_fetch():
+    sim, rts, cache = make(n_clusters=2, nodes_per_cluster=4)
+    owner = 6
+    vals = []
+
+    def reader(nid):
+        ctx = rts.context(nid)
+        val = yield from cache.fetch(ctx, owner=owner, epoch=1)
+        vals.append(val)
+
+    for nid in range(4):  # all of cluster 0, simultaneously
+        sim.spawn(reader(nid))
+    sim.run()
+    assert vals == [6001] * 4
+    assert cache.wan_fetches == 1
+
+
+def test_epochs_are_not_conflated():
+    sim, rts, cache = make()
+
+    def proc():
+        ctx = rts.context(0)
+        v0 = yield from cache.fetch(ctx, owner=5, epoch=0)
+        v1 = yield from cache.fetch(ctx, owner=5, epoch=1)
+        return (v0, v1)
+
+    v0, v1 = sim.run_process(proc())
+    assert (v0, v1) == (5000, 5001)
+    assert cache.wan_fetches == 2  # new epoch -> fresh fetch
+
+
+def test_coordinator_itself_can_fetch_inline():
+    sim, rts, cache = make()
+    owner = 4
+    coord = cache.coordinator_for(0, owner)
+
+    def proc():
+        ctx = rts.context(coord)
+        val = yield from cache.fetch(ctx, owner=owner, epoch=2)
+        return val
+
+    assert sim.run_process(proc()) == 4002
+    assert cache.wan_fetches == 1
+
+
+def test_write_combined_reduces_before_wan():
+    sim, rts, cache = make()
+    updates = []
+    cache.register_consumer(5, lambda e, v: updates.append((e, v)))
+
+    def writer(nid, value):
+        ctx = rts.context(nid)
+        yield from cache.write_combined(ctx, dest=5, epoch=0, value=value,
+                                        size=64, expected=4)
+
+    wan_before = None
+    for nid, val in zip(range(4), [1, 2, 3, 4]):
+        sim.spawn(writer(nid, val))
+    sim.run()
+    assert updates == [(0, 10)]  # combined sum arrived once
+    # Exactly one WAN message carried the combined update.
+    assert rts.meter.wan_messages == 1
+
+
+def test_write_same_cluster_goes_direct():
+    sim, rts, cache = make()
+    updates = []
+    cache.register_consumer(2, lambda e, v: updates.append((e, v)))
+
+    def writer():
+        ctx = rts.context(1)
+        yield from cache.write_combined(ctx, dest=2, epoch=7, value=42,
+                                        size=8, expected=1)
+
+    sim.spawn(writer())
+    sim.run()
+    assert updates == [(7, 42)]
+    assert rts.meter.wan_messages == 0
+
+
+def test_missing_provider_raises():
+    sim = Simulator()
+    fabric = Fabric(sim, uniform_clusters(2, 2), DAS_PARAMS)
+    rts = OrcaRuntime(sim, fabric)
+    cache = ClusterCache(rts, reduce_fn=lambda a, b: a + b)
+
+    def proc():
+        ctx = rts.context(0)
+        yield from cache.fetch(ctx, owner=1, epoch=0)
+
+    with pytest.raises(Exception):
+        sim.run_process(proc())
+        sim.run()

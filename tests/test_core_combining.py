@@ -1,0 +1,162 @@
+"""Unit tests for cluster-level message combining."""
+
+import pytest
+
+from repro.core import ClusterCombiner, CombinerConfig
+from repro.network import DAS_PARAMS, Fabric, uniform_clusters
+from repro.orca import OrcaRuntime
+from repro.sim import Simulator
+
+
+def make(n_clusters=2, nodes_per_cluster=4, **cfg):
+    sim = Simulator()
+    fabric = Fabric(sim, uniform_clusters(n_clusters, nodes_per_cluster),
+                    DAS_PARAMS)
+    rts = OrcaRuntime(sim, fabric)
+    comb = ClusterCombiner(rts, CombinerConfig(**cfg) if cfg else None)
+    return sim, rts, comb
+
+
+def test_intracluster_messages_pass_through():
+    sim, rts, comb = make()
+    got = []
+
+    def sender():
+        ctx = rts.context(1)
+        yield from comb.send(ctx, 2, 100, payload="local", port="p")
+
+    def receiver():
+        ctx = rts.context(2)
+        msg = yield from ctx.receive(port="p")
+        got.append(msg.payload)
+
+    sim.spawn(sender())
+    sim.spawn(receiver())
+    sim.run()
+    assert got == ["local"]
+    assert comb.flushes == 0
+
+
+def test_intercluster_messages_are_combined_and_delivered():
+    sim, rts, comb = make(max_messages=8, max_delay=0.5)
+    received = {}
+
+    def sender(nid, dst, tag):
+        ctx = rts.context(nid)
+        yield from comb.send(ctx, dst, 50, payload=tag, port="p")
+
+    def receiver(nid, expect):
+        ctx = rts.context(nid)
+        out = []
+        for _ in range(expect):
+            msg = yield from ctx.receive(port="p")
+            out.append(msg.payload)
+        received[nid] = out
+
+    # 8 messages from cluster 0 to two different nodes of cluster 1.
+    for i in range(8):
+        sim.spawn(sender(i % 4, 4 + (i % 2), f"m{i}"))
+    sim.spawn(receiver(4, 4))
+    sim.spawn(receiver(5, 4))
+    sim.run()
+    assert sorted(received[4] + received[5]) == [f"m{i}" for i in range(8)]
+    # All 8 messages crossed the WAN in a single combined flush.
+    assert comb.flushes == 1
+    assert comb.combined_messages == 1
+
+
+def test_byte_threshold_triggers_flush():
+    sim, rts, comb = make(max_messages=1000, max_bytes=200, max_delay=10.0)
+
+    def sender():
+        ctx = rts.context(0)
+        for i in range(3):
+            yield from comb.send(ctx, 4, 80, payload=i, port="p")
+
+    def receiver():
+        ctx = rts.context(4)
+        out = []
+        for _ in range(3):
+            msg = yield from ctx.receive(port="p")
+            out.append(msg.payload)
+        return out
+
+    sim.spawn(sender())
+    p = sim.spawn(receiver())
+    sim.run(until=1.0)
+    assert p.triggered  # flushed by bytes, well before the 10 s timer
+    assert p.value == [0, 1, 2]
+
+
+def test_timer_flushes_stragglers():
+    sim, rts, comb = make(max_messages=100, max_bytes=10**6, max_delay=0.002)
+
+    def sender():
+        ctx = rts.context(1)
+        yield from comb.send(ctx, 5, 10, payload="only", port="p")
+
+    def receiver():
+        ctx = rts.context(5)
+        msg = yield from ctx.receive(port="p")
+        return (msg.payload, sim.now)
+
+    sim.spawn(sender())
+    p = sim.spawn(receiver())
+    sim.run(until=1.0)
+    payload, t = p.value
+    assert payload == "only"
+    assert 0.002 <= t < 0.02
+
+
+def test_combining_reduces_wan_messages():
+    # 64 small messages, combined vs direct: far fewer WAN crossings.
+    def run(combined):
+        sim, rts, comb = make(max_messages=16, max_delay=0.01)
+
+        def sender(nid):
+            ctx = rts.context(nid)
+            for i in range(16):
+                if combined:
+                    yield from comb.send(ctx, 4, 20, payload=i, port="p")
+                else:
+                    yield from ctx.send(4, 20, payload=i, port="p")
+
+        def receiver():
+            ctx = rts.context(4)
+            for _ in range(64):
+                yield from ctx.receive(port="p")
+
+        for nid in range(4):
+            sim.spawn(sender(nid))
+        done = sim.spawn(receiver())
+        sim.run()
+        assert done.triggered
+        return rts.meter.wan_messages
+
+    assert run(combined=False) == 64
+    assert run(combined=True) <= 8
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        CombinerConfig(max_messages=0)
+    with pytest.raises(ValueError):
+        CombinerConfig(max_delay=0)
+
+
+def test_combiner_node_sending_for_itself():
+    sim, rts, comb = make(max_messages=1)
+
+    def sender():
+        ctx = rts.context(0)  # node 0 IS the cluster-0 combiner
+        yield from comb.send(ctx, 6, 40, payload="direct", port="p")
+
+    def receiver():
+        ctx = rts.context(6)
+        msg = yield from ctx.receive(port="p")
+        return msg.payload
+
+    sim.spawn(sender())
+    p = sim.spawn(receiver())
+    sim.run()
+    assert p.value == "direct"

@@ -1,0 +1,74 @@
+"""Unit tests for flat vs cluster-level reductions."""
+
+import pytest
+
+from repro.core import cluster_reduce, flat_reduce
+from repro.network import DAS_PARAMS, Fabric, uniform_clusters
+from repro.orca import OrcaRuntime
+from repro.sim import Simulator
+
+
+def run_reduce(kind, n_clusters, nodes_per_cluster, root=0):
+    sim = Simulator()
+    fabric = Fabric(sim, uniform_clusters(n_clusters, nodes_per_cluster),
+                    DAS_PARAMS)
+    rts = OrcaRuntime(sim, fabric)
+    fn = flat_reduce if kind == "flat" else cluster_reduce
+    results = {}
+
+    def party(nid):
+        ctx = rts.context(nid)
+        r = yield from fn(ctx, nid + 1, lambda a, b: a + b, size=8, root=root,
+                          tag=f"t{kind}")
+        results[nid] = r
+
+    for nid in range(fabric.topo.n_nodes):
+        sim.spawn(party(nid))
+    sim.run()
+    return rts, results
+
+
+@pytest.mark.parametrize("kind", ["flat", "tree"])
+@pytest.mark.parametrize("shape", [(1, 8), (2, 4), (4, 3)])
+def test_reduce_computes_sum_at_root(kind, shape):
+    rts, results = run_reduce(kind, *shape)
+    n = shape[0] * shape[1]
+    expected = n * (n + 1) // 2
+    assert results[0] == expected
+    assert all(v is None for nid, v in results.items() if nid != 0)
+
+
+def test_cluster_reduce_uses_fewer_intercluster_messages():
+    rts_flat, _ = run_reduce("flat", 4, 4)
+    rts_tree, _ = run_reduce("tree", 4, 4)
+    flat_inter = rts_flat.meter.row("rpc", intercluster=True).count
+    tree_inter = rts_tree.meter.row("rpc", intercluster=True).count
+    # Flat: 12 of the 15 contributors are remote.  Tree: 3 representatives.
+    assert flat_inter == 12
+    assert tree_inter == 3
+
+
+def test_cluster_reduce_nonzero_root_not_representative():
+    # Root in the middle of cluster 1 (not a cluster representative).
+    sim = Simulator()
+    fabric = Fabric(sim, uniform_clusters(3, 4), DAS_PARAMS)
+    rts = OrcaRuntime(sim, fabric)
+    root = 6
+    results = {}
+
+    def party(nid):
+        ctx = rts.context(nid)
+        r = yield from cluster_reduce(ctx, 1, lambda a, b: a + b, size=8,
+                                      root=root, tag="nr")
+        results[nid] = r
+
+    for nid in range(12):
+        sim.spawn(party(nid))
+    sim.run()
+    assert results[root] == 12
+    assert all(v is None for nid, v in results.items() if nid != root)
+
+
+def test_tree_reduce_two_clusters_of_five():
+    rts, results = run_reduce("tree", 2, 5)
+    assert results[0] == 55  # sum of 1..10 regardless of arrival order

@@ -1,0 +1,70 @@
+"""Unit tests for the cluster_scatter collective."""
+
+import pytest
+
+from repro.core import cluster_scatter
+from repro.network import DAS_PARAMS, Fabric, uniform_clusters
+from repro.orca import OrcaRuntime
+from repro.sim import Simulator
+
+
+def run_scatter(n_clusters, per, root=0, value="payload"):
+    sim = Simulator()
+    fabric = Fabric(sim, uniform_clusters(n_clusters, per), DAS_PARAMS)
+    rts = OrcaRuntime(sim, fabric)
+    results = {}
+
+    def party(nid):
+        ctx = rts.context(nid)
+        v = yield from cluster_scatter(ctx, value if nid == root else None,
+                                       size=16, root=root, tag="t")
+        results[nid] = v
+
+    for nid in range(fabric.topo.n_nodes):
+        sim.spawn(party(nid))
+    sim.run()
+    return rts, results
+
+
+@pytest.mark.parametrize("shape", [(1, 1), (1, 6), (2, 4), (4, 3)])
+def test_scatter_delivers_root_value_everywhere(shape):
+    _, results = run_scatter(*shape)
+    assert all(v == "payload" for v in results.values())
+    assert len(results) == shape[0] * shape[1]
+
+
+def test_scatter_uses_one_wan_message_per_remote_cluster():
+    rts, _ = run_scatter(4, 4)
+    assert rts.meter.wan_messages == 3
+
+
+def test_scatter_from_non_representative_root():
+    rts, results = run_scatter(3, 4, root=5, value=42)
+    assert all(v == 42 for v in results.values())
+    assert rts.meter.wan_messages == 2
+
+
+def test_scatter_single_node():
+    _, results = run_scatter(1, 1, value="solo")
+    assert results == {0: "solo"}
+
+
+def test_scatter_reusable_with_distinct_tags():
+    sim = Simulator()
+    fabric = Fabric(sim, uniform_clusters(2, 2), DAS_PARAMS)
+    rts = OrcaRuntime(sim, fabric)
+    seen = {}
+
+    def party(nid):
+        ctx = rts.context(nid)
+        out = []
+        for rnd in range(3):
+            v = yield from cluster_scatter(ctx, rnd if nid == 0 else None,
+                                           size=8, root=0, tag=f"r{rnd}")
+            out.append(v)
+        seen[nid] = out
+
+    for nid in range(4):
+        sim.spawn(party(nid))
+    sim.run()
+    assert all(v == [0, 1, 2] for v in seen.values())

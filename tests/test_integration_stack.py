@@ -1,0 +1,96 @@
+"""Cross-cutting integration tests over the full stack."""
+
+import pytest
+
+from repro.apps import PAPER_ORDER, make_app, small_params
+from repro.apps.base import KERNEL_REAL, KERNEL_SYNTHETIC
+from repro.harness import run_app
+from repro.network import DAS_PARAMS, Fabric, uniform_clusters
+from repro.orca import ObjectSpec, Operation, OrcaRuntime
+from repro.sim import Simulator
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_every_app_runs_on_every_cluster_shape(name):
+    """Smoke: all eight apps complete on 1, 2 and 4 clusters."""
+    app = make_app(name)
+    params = small_params(name)
+    for shape in ((1, 4), (2, 2), (4, 1)):
+        if name == "sor" and shape[0] * shape[1] > params.n_rows:
+            continue
+        res = run_app(app, "original", *shape, params)
+        assert res.elapsed > 0
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_every_app_is_deterministic(name):
+    app = make_app(name)
+    params = small_params(name)
+    a = run_app(app, "original", 2, 2, params)
+    b = run_app(make_app(name), "original", 2, 2, params)
+    assert a.elapsed == b.elapsed
+    assert a.traffic == b.traffic
+
+
+@pytest.mark.parametrize("name", ["water", "tsp", "asp", "atpg", "ida"])
+def test_synthetic_kernel_matches_real_timing(name):
+    """The synthetic kernel must charge the same virtual time and move the
+    same messages as the real kernel — that is its contract."""
+    app = make_app(name)
+    params = small_params(name)
+    real = run_app(app, "original", 2, 2, params)
+    synth = run_app(make_app(name), "original", 2, 2,
+                    params.with_(kernel=KERNEL_SYNTHETIC))
+    if name in ("water",):  # identical cost formulas
+        assert synth.elapsed == pytest.approx(real.elapsed, rel=1e-9)
+        for key in ("inter.rpc", "intra.rpc"):
+            if key in real.traffic:
+                assert real.traffic[key]["count"] == synth.traffic[key]["count"]
+    else:
+        # Synthetic work distributions differ from real search trees, but
+        # the communication structure must be intact.
+        assert synth.elapsed > 0
+        assert set(k for k in synth.traffic if k.endswith("rpc")) \
+            <= set(real.traffic) | {"intra.rpc", "inter.rpc"}
+
+
+def test_wan_byte_conservation():
+    """Every intercluster application byte must appear on a WAN link."""
+    res = run_app(make_app("water"), "original", 2, 2,
+                  small_params("water"))
+    inter_bytes = sum(v["bytes"] for k, v in res.traffic.items()
+                      if k.startswith("inter."))
+    assert res.traffic["wan"]["bytes"] >= inter_bytes * 0.9
+
+
+def test_single_cluster_runs_produce_no_wan_traffic():
+    for name in PAPER_ORDER:
+        res = run_app(make_app(name), "original", 1, 4, small_params(name))
+        assert res.traffic["wan"]["count"] == 0, name
+        for key in res.traffic:
+            if key.startswith("inter."):
+                assert res.traffic[key]["count"] == 0, (name, key)
+
+
+def test_dedicated_sequencer_node_option():
+    sim = Simulator()
+    fabric = Fabric(sim, uniform_clusters(2, 4), DAS_PARAMS)
+    rts = OrcaRuntime(sim, fabric, dedicated_sequencer_node=True)
+    # The stamping node moves to the last node of each cluster.
+    assert rts.tob.stamping_node(0) == 3
+    assert rts.tob.stamping_node(1) == 7
+
+    def bump(state):
+        state["v"] = state.get("v", 0) + 1
+
+    rts.register(ObjectSpec("c", dict,
+                            {"bump": Operation(fn=bump, writes=True)},
+                            replicated=True))
+
+    def proc():
+        ctx = rts.context(0)
+        yield from ctx.invoke("c", "bump")
+
+    sim.spawn(proc())
+    sim.run()
+    assert rts.state_of("c", 7)["v"] == 1

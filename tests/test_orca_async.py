@@ -1,0 +1,103 @@
+"""Tests for asynchronous replicated writes (invoke_async) and total-order
+interaction between synchronous and asynchronous broadcasts."""
+
+import pytest
+
+from repro.network import DAS_PARAMS, Fabric, uniform_clusters
+from repro.orca import ObjectSpec, Operation, OrcaRuntime
+from repro.sim import Simulator
+
+
+def make_rts(n_clusters=2, nodes_per_cluster=3):
+    sim = Simulator()
+    fabric = Fabric(sim, uniform_clusters(n_clusters, nodes_per_cluster),
+                    DAS_PARAMS)
+    return sim, OrcaRuntime(sim, fabric)
+
+
+def log_spec():
+    def append(state, item):
+        state.append(item)
+
+    def snapshot(state):
+        return list(state)
+
+    return ObjectSpec(
+        "log", list,
+        {"append": Operation(fn=append, writes=True, arg_bytes=16),
+         "snapshot": Operation(fn=snapshot, arg_bytes=1)},
+        replicated=True)
+
+
+def test_invoke_async_does_not_block_sender():
+    sim, rts = make_rts()
+    rts.register(log_spec())
+
+    def writer():
+        ctx = rts.context(4)  # remote cluster: sync would pay WAN waits
+        t0 = sim.now
+        events = [ctx.invoke_async("log", "append", i) for i in range(10)]
+        issue_time = sim.now - t0
+        for ev in events:
+            if not ev.triggered:
+                yield ev
+        return issue_time
+
+    issue_time = sim.run_process(writer())
+    sim.run()
+    assert issue_time < 1e-3  # issuing didn't wait for ordering
+    assert rts.state_of("log", 0) == list(range(10))
+
+
+def test_async_writes_keep_program_order_per_sender():
+    sim, rts = make_rts(n_clusters=3, nodes_per_cluster=2)
+    rts.register(log_spec())
+
+    def writer(nid, tag):
+        ctx = rts.context(nid)
+        for i in range(5):
+            ctx.invoke_async("log", "append", (tag, i))
+        yield sim.timeout(0)
+
+    for nid, tag in ((0, "a"), (3, "b"), (5, "c")):
+        sim.spawn(writer(nid, tag))
+    sim.run()
+    logs = [rts.state_of("log", n) for n in range(6)]
+    # All replicas identical (total order)...
+    assert all(lg == logs[0] for lg in logs)
+    # ...and each sender's items appear in its program order.
+    for tag in ("a", "b", "c"):
+        seq = [i for t, i in logs[0] if t == tag]
+        assert seq == sorted(seq) == list(range(5))
+
+
+def test_invoke_async_rejects_non_replicated():
+    sim, rts = make_rts()
+    rts.register(ObjectSpec(
+        "plain", dict, {"w": Operation(fn=lambda s: None, writes=True)},
+        owner=0))
+
+    with pytest.raises(ValueError, match="invoke_async"):
+        rts.context(1).invoke_async("plain", "w")
+
+
+def test_invoke_async_rejects_read_ops():
+    sim, rts = make_rts()
+    rts.register(log_spec())
+    with pytest.raises(ValueError, match="invoke_async"):
+        rts.context(0).invoke_async("log", "snapshot")
+
+
+def test_sync_after_async_is_ordered_behind_it():
+    sim, rts = make_rts()
+    rts.register(log_spec())
+
+    def writer():
+        ctx = rts.context(1)
+        ctx.invoke_async("log", "append", "first")
+        yield from ctx.invoke("log", "append", "second")  # blocking
+
+    sim.spawn(writer())
+    sim.run()
+    for n in range(rts.topo.n_nodes):
+        assert rts.state_of("log", n) == ["first", "second"]

@@ -1,0 +1,378 @@
+"""Integration tests for the Orca runtime: RPC, replication, guards, order."""
+
+import pytest
+
+from repro.network import DAS_PARAMS, Fabric, uniform_clusters
+from repro.orca import Blocked, ObjectSpec, Operation, OrcaRuntime
+from repro.sim import Simulator
+
+
+def make_rts(n_clusters=2, nodes_per_cluster=4, sequencer="distributed",
+             params=DAS_PARAMS):
+    sim = Simulator()
+    fabric = Fabric(sim, uniform_clusters(n_clusters, nodes_per_cluster), params)
+    rts = OrcaRuntime(sim, fabric, sequencer=sequencer)
+    return sim, rts
+
+
+def counter_spec(name="counter", replicated=False, owner=0):
+    def incr(state, amount):
+        state["v"] += amount
+        return state["v"]
+
+    def read(state):
+        return state["v"]
+
+    return ObjectSpec(
+        name, lambda: {"v": 0},
+        {"incr": Operation(fn=incr, writes=True, arg_bytes=8, result_bytes=8),
+         "read": Operation(fn=read, result_bytes=8)},
+        replicated=replicated, owner=owner)
+
+
+# ------------------------------------------------------------------ RPC
+
+
+def test_local_invocation_no_messages():
+    sim, rts = make_rts()
+    rts.register(counter_spec(owner=0))
+
+    def proc():
+        ctx = rts.context(0)
+        v = yield from ctx.invoke("counter", "incr", 5)
+        return v
+
+    assert sim.run_process(proc()) == 5
+    assert rts.meter.total("rpc").count == 0
+
+
+def test_remote_invocation_is_rpc():
+    sim, rts = make_rts()
+    rts.register(counter_spec(owner=0))
+
+    def proc():
+        ctx = rts.context(1)  # same cluster as owner
+        v = yield from ctx.invoke("counter", "incr", 3)
+        return v
+
+    assert sim.run_process(proc()) == 3
+    assert rts.meter.row("rpc", intercluster=False).count == 1
+    assert rts.meter.row("rpc", intercluster=True).count == 0
+
+
+def test_intercluster_rpc_recorded_and_slow():
+    sim, rts = make_rts()
+    rts.register(counter_spec(owner=0))
+
+    def proc():
+        ctx = rts.context(4)  # cluster 1
+        t0 = sim.now
+        yield from ctx.invoke("counter", "incr", 1)
+        return sim.now - t0
+
+    elapsed = sim.run_process(proc())
+    assert rts.meter.row("rpc", intercluster=True).count == 1
+    assert elapsed > 2e-3  # WAN round trip
+
+
+def test_rpc_serializes_state_correctly():
+    sim, rts = make_rts()
+    rts.register(counter_spec(owner=0))
+
+    def worker(nid):
+        ctx = rts.context(nid)
+        for _ in range(10):
+            yield from ctx.invoke("counter", "incr", 1)
+
+    for nid in range(8):
+        sim.spawn(worker(nid))
+    sim.run()
+    assert rts.state_of("counter")["v"] == 80
+
+
+def test_rpc_null_roundtrip_lan_about_40us():
+    sim, rts = make_rts()
+
+    def nullfn(state):
+        return None
+
+    rts.register(ObjectSpec(
+        "null", dict, {"nop": Operation(fn=nullfn, arg_bytes=0, result_bytes=0)},
+        owner=0))
+
+    def proc():
+        ctx = rts.context(1)
+        t0 = sim.now
+        yield from ctx.invoke("null", "nop")
+        return sim.now - t0
+
+    rt = sim.run_process(proc())
+    assert rt == pytest.approx(40e-6, rel=0.25)
+
+
+# ------------------------------------------------------------ replication
+
+
+def test_replicated_read_is_local_and_free_of_messages():
+    sim, rts = make_rts()
+    rts.register(counter_spec("rc", replicated=True))
+
+    def proc():
+        ctx = rts.context(5)
+        t0 = sim.now
+        v = yield from ctx.invoke("rc", "read")
+        return v, sim.now - t0
+
+    v, dt = sim.run_process(proc())
+    assert v == 0
+    assert dt < 1e-4
+    assert rts.meter.total("rpc").count == 0
+    assert rts.meter.total("bcast").count == 0
+
+
+def test_replicated_write_updates_all_copies():
+    sim, rts = make_rts()
+    rts.register(counter_spec("rc", replicated=True))
+
+    def writer():
+        ctx = rts.context(3)
+        v = yield from ctx.invoke("rc", "incr", 7)
+        return v
+
+    assert sim.run_process(writer()) == 7
+    sim.run()  # drain remote applications
+    for nid in range(rts.topo.n_nodes):
+        assert rts.state_of("rc", nid)["v"] == 7
+    assert rts.meter.total("bcast").count == 1
+
+
+def test_total_order_is_global_across_objects():
+    sim, rts = make_rts(n_clusters=2, nodes_per_cluster=3)
+    rts.register(counter_spec("a", replicated=True))
+    rts.register(counter_spec("b", replicated=True))
+
+    def writer(nid, obj, n):
+        ctx = rts.context(nid)
+        for _ in range(n):
+            yield from ctx.invoke(obj, "incr", 1)
+
+    sim.spawn(writer(0, "a", 5))
+    sim.spawn(writer(4, "b", 5))
+    sim.spawn(writer(2, "a", 5))
+    sim.run()
+    # Every node applied the exact same global sequence 0..14.
+    expect = list(range(15))
+    for nid in range(rts.topo.n_nodes):
+        assert rts.tob.applied_sequence(nid) == expect
+    assert rts.state_of("a", 5)["v"] == 10
+    assert rts.state_of("b", 5)["v"] == 5
+
+
+def test_replicated_writes_from_all_nodes_converge():
+    sim, rts = make_rts(n_clusters=4, nodes_per_cluster=2)
+    rts.register(counter_spec("rc", replicated=True))
+
+    def writer(nid):
+        ctx = rts.context(nid)
+        yield from ctx.invoke("rc", "incr", nid)
+
+    for nid in range(8):
+        sim.spawn(writer(nid))
+    sim.run()
+    expected = sum(range(8))
+    for nid in range(8):
+        assert rts.state_of("rc", nid)["v"] == expected
+
+
+# ----------------------------------------------------------------- guards
+
+
+def queue_spec(owner=0):
+    def enq(state, item):
+        state.append(item)
+
+    def deq(state):
+        if not state:
+            raise Blocked
+        return state.pop(0)
+
+    return ObjectSpec(
+        "queue", list,
+        {"enq": Operation(fn=enq, writes=True),
+         "deq": Operation(fn=deq, writes=True)},
+        owner=owner)
+
+
+def test_guard_blocks_local_consumer_until_producer_adds():
+    sim, rts = make_rts()
+    rts.register(queue_spec(owner=0))
+
+    def consumer():
+        ctx = rts.context(0)
+        item = yield from ctx.invoke("queue", "deq")
+        return (item, sim.now)
+
+    def producer():
+        ctx = rts.context(1)
+        yield from ctx.sleep(0.01)
+        yield from ctx.invoke("queue", "enq", "job")
+
+    p = sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    item, t = p.value
+    assert item == "job"
+    assert t >= 0.01
+
+
+def test_guard_blocks_remote_consumer_rpc():
+    sim, rts = make_rts()
+    rts.register(queue_spec(owner=0))
+
+    def consumer(nid):
+        ctx = rts.context(nid)
+        item = yield from ctx.invoke("queue", "deq")
+        return item
+
+    def producer():
+        ctx = rts.context(0)
+        yield from ctx.sleep(0.005)
+        for i in range(3):
+            yield from ctx.invoke("queue", "enq", i)
+
+    consumers = [sim.spawn(consumer(nid)) for nid in (1, 2, 5)]
+    sim.spawn(producer())
+    sim.run()
+    got = sorted(c.value for c in consumers)
+    assert got == [0, 1, 2]
+
+
+def test_parked_rpc_does_not_block_other_requests():
+    sim, rts = make_rts()
+    rts.register(queue_spec(owner=0))
+    rts.register(counter_spec(owner=0))
+
+    def blocked_consumer():
+        ctx = rts.context(1)
+        item = yield from ctx.invoke("queue", "deq")
+        return item
+
+    def other():
+        ctx = rts.context(2)
+        v = yield from ctx.invoke("counter", "incr", 1)
+        return (v, sim.now)
+
+    sim.spawn(blocked_consumer())
+    p = sim.spawn(other())
+    sim.run(until=0.1)
+    # The counter RPC completed promptly even though the dequeue is parked.
+    assert p.triggered
+    v, t = p.value
+    assert v == 1 and t < 1e-3
+
+
+# ------------------------------------------------------------- sequencers
+
+
+@pytest.mark.parametrize("kind", ["centralized", "distributed", "migrating"])
+def test_all_sequencers_deliver_total_order(kind):
+    sim, rts = make_rts(n_clusters=3, nodes_per_cluster=2, sequencer=kind)
+    rts.register(counter_spec("rc", replicated=True))
+
+    def writer(nid):
+        ctx = rts.context(nid)
+        for _ in range(4):
+            yield from ctx.invoke("rc", "incr", 1)
+
+    for nid in range(6):
+        sim.spawn(writer(nid))
+    sim.run()
+    expect = list(range(24))
+    for nid in range(6):
+        assert rts.tob.applied_sequence(nid) == expect
+        assert rts.state_of("rc", nid)["v"] == 24
+
+
+def test_migrating_sequencer_cheaper_for_phased_broadcasts():
+    """A run of broadcasts from one cluster: migrating beats distributed."""
+
+    def run(kind):
+        sim, rts = make_rts(n_clusters=4, nodes_per_cluster=2, sequencer=kind)
+        rts.register(counter_spec("rc", replicated=True))
+
+        def writer():
+            ctx = rts.context(1)
+            for _ in range(20):
+                yield from ctx.invoke("rc", "incr", 1)
+            return sim.now
+
+        return sim.run_process(writer())
+
+    t_dist = run("distributed")
+    t_migr = run("migrating")
+    assert t_migr < t_dist / 2
+
+
+def test_centralized_sequencer_penalizes_remote_clusters():
+    def run(writer_node):
+        sim, rts = make_rts(n_clusters=2, nodes_per_cluster=4,
+                            sequencer="centralized")
+        rts.register(counter_spec("rc", replicated=True))
+
+        def writer():
+            ctx = rts.context(writer_node)
+            for _ in range(10):
+                yield from ctx.invoke("rc", "incr", 1)
+            return sim.now
+
+        return sim.run_process(writer())
+
+    t_home = run(0)   # on the sequencer's cluster
+    t_far = run(4)    # remote cluster: each bcast crosses the WAN twice
+    assert t_far > 3 * t_home
+
+
+def test_unknown_sequencer_kind_rejected():
+    with pytest.raises(ValueError, match="unknown sequencer"):
+        make_rts(sequencer="nonsense")
+
+
+# ------------------------------------------------------------------ misc
+
+
+def test_register_duplicate_rejected():
+    _, rts = make_rts()
+    rts.register(counter_spec())
+    with pytest.raises(ValueError, match="already registered"):
+        rts.register(counter_spec())
+
+
+def test_register_bad_owner_rejected():
+    _, rts = make_rts()
+    with pytest.raises(ValueError, match="owner"):
+        rts.register(counter_spec(owner=99))
+
+
+def test_context_out_of_range():
+    _, rts = make_rts()
+    with pytest.raises(ValueError):
+        rts.context(100)
+
+
+def test_raw_messages_between_nodes():
+    sim, rts = make_rts()
+
+    def sender():
+        ctx = rts.context(0)
+        yield from ctx.send(5, 128, payload={"k": 1}, port="data")
+
+    def receiver():
+        ctx = rts.context(5)
+        msg = yield from ctx.receive(port="data")
+        return msg.payload
+
+    sim.spawn(sender())
+    p = sim.spawn(receiver())
+    sim.run()
+    assert p.value == {"k": 1}
+    assert rts.meter.row("msg", intercluster=True).count == 1

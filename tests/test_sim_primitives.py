@@ -1,0 +1,249 @@
+"""Unit tests for channels, resources, CPUs, and barriers."""
+
+import pytest
+
+from repro.sim import Barrier, Channel, CPU, Resource, SimulationError, Simulator
+
+
+# ---------------------------------------------------------------- Channel
+
+
+def test_channel_put_then_get():
+    sim = Simulator()
+    ch = Channel(sim)
+    ch.put("x")
+
+    def proc():
+        v = yield ch.get()
+        return v
+
+    assert sim.run_process(proc()) == "x"
+
+
+def test_channel_get_blocks_until_put():
+    sim = Simulator()
+    ch = Channel(sim)
+
+    def getter():
+        v = yield ch.get()
+        return (sim.now, v)
+
+    def putter():
+        yield sim.timeout(3.0)
+        ch.put("late")
+
+    p = sim.spawn(getter())
+    sim.spawn(putter())
+    sim.run()
+    t, v = p.value
+    assert t == pytest.approx(3.0)
+    assert v == "late"
+
+
+def test_channel_fifo_order():
+    sim = Simulator()
+    ch = Channel(sim)
+    for i in range(5):
+        ch.put(i)
+
+    def proc():
+        out = []
+        for _ in range(5):
+            out.append((yield ch.get()))
+        return out
+
+    assert sim.run_process(proc()) == [0, 1, 2, 3, 4]
+
+
+def test_channel_getters_served_fifo():
+    sim = Simulator()
+    ch = Channel(sim)
+    got = {}
+
+    def getter(name):
+        got[name] = yield ch.get()
+
+    sim.spawn(getter("first"))
+    sim.spawn(getter("second"))
+
+    def putter():
+        yield sim.timeout(1.0)
+        ch.put("a")
+        ch.put("b")
+
+    sim.spawn(putter())
+    sim.run()
+    assert got == {"first": "a", "second": "b"}
+
+
+def test_channel_try_get():
+    sim = Simulator()
+    ch = Channel(sim)
+    assert ch.try_get() is None
+    ch.put(7)
+    assert ch.try_get() == 7
+    assert len(ch) == 0
+
+
+# ---------------------------------------------------------------- Resource
+
+
+def test_resource_serializes_users():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    times = []
+
+    def user(name):
+        yield res.request()
+        yield sim.timeout(2.0)
+        times.append((name, sim.now))
+        res.release()
+
+    for i in range(3):
+        sim.spawn(user(i))
+    sim.run()
+    assert times == [(0, pytest.approx(2.0)), (1, pytest.approx(4.0)),
+                     (2, pytest.approx(6.0))]
+
+
+def test_resource_capacity_two_runs_pairs():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    done = []
+
+    def user(name):
+        yield res.request()
+        yield sim.timeout(1.0)
+        done.append((name, sim.now))
+        res.release()
+
+    for i in range(4):
+        sim.spawn(user(i))
+    sim.run()
+    assert [t for _, t in done] == [pytest.approx(1.0), pytest.approx(1.0),
+                                    pytest.approx(2.0), pytest.approx(2.0)]
+
+
+def test_resource_release_idle_rejected():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_bad_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_busy_time_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user():
+        yield res.request()
+        yield sim.timeout(5.0)
+        res.release()
+        yield sim.timeout(5.0)
+
+    sim.run_process(user())
+    assert res.busy_time() == pytest.approx(5.0)
+    assert sim.now == pytest.approx(10.0)
+
+
+# ---------------------------------------------------------------- CPU
+
+
+def test_cpu_execute_charges_time():
+    sim = Simulator()
+    cpu = CPU(sim)
+
+    def proc():
+        yield sim.spawn(cpu.execute(1.25))
+        return sim.now
+
+    assert sim.run_process(proc()) == pytest.approx(1.25)
+
+
+def test_cpu_execute_serializes():
+    sim = Simulator()
+    cpu = CPU(sim)
+    ends = []
+
+    def proc(i):
+        yield sim.spawn(cpu.execute(1.0))
+        ends.append(sim.now)
+
+    for i in range(3):
+        sim.spawn(proc(i))
+    sim.run()
+    assert ends == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+
+def test_cpu_negative_time_rejected():
+    sim = Simulator()
+    cpu = CPU(sim)
+
+    def proc():
+        yield sim.spawn(cpu.execute(-0.1))
+
+    with pytest.raises(SimulationError):
+        sim.run_process(proc())
+
+
+# ---------------------------------------------------------------- Barrier
+
+
+def test_barrier_releases_all_at_last_arrival():
+    sim = Simulator()
+    bar = Barrier(sim, parties=3)
+    release_times = []
+
+    def party(i):
+        yield sim.timeout(float(i))
+        yield bar.wait()
+        release_times.append(sim.now)
+
+    for i in range(3):
+        sim.spawn(party(i))
+    sim.run()
+    assert release_times == [pytest.approx(2.0)] * 3
+
+
+def test_barrier_is_reusable():
+    sim = Simulator()
+    bar = Barrier(sim, parties=2)
+    log = []
+
+    def party(name, delays):
+        for d in delays:
+            yield sim.timeout(d)
+            yield bar.wait()
+            log.append((name, sim.now))
+
+    sim.spawn(party("a", [1.0, 1.0]))
+    sim.spawn(party("b", [2.0, 3.0]))
+    sim.run()
+    times = sorted(t for _, t in log)
+    assert times == [pytest.approx(2.0), pytest.approx(2.0),
+                     pytest.approx(5.0), pytest.approx(5.0)]
+    assert bar.generation == 2
+
+
+def test_barrier_single_party_never_blocks():
+    sim = Simulator()
+    bar = Barrier(sim, parties=1)
+
+    def proc():
+        yield bar.wait()
+        yield bar.wait()
+        return sim.now
+
+    assert sim.run_process(proc()) == 0.0
+
+
+def test_barrier_bad_parties_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Barrier(sim, parties=0)

@@ -1,0 +1,97 @@
+"""Tests for utilization reporting and ASCII plotting."""
+
+import pytest
+
+from repro.apps import make_app, small_params
+from repro.apps.base import AppResult
+from repro.harness import ascii_speedup_plot, run_app, speedup_curve
+from repro.harness.experiment import CurvePoint
+from repro.metrics import (
+    UtilizationReport,
+    collect_utilization,
+    format_utilization,
+)
+
+
+# ------------------------------------------------------------- utilization
+
+
+def test_utilization_report_fractions_bounded():
+    res = run_app(make_app("atpg"), "original", 2, 3, small_params("atpg"),
+                  utilization=True)
+    rep = res.utilization
+    assert isinstance(rep, UtilizationReport)
+    assert all(0.0 <= u <= 1.0 for u in rep.cpu)
+    assert all(0.0 <= u <= 1.0 for u in rep.gateway)
+    assert all(0.0 <= u <= 1.0 for u in rep.wan.values())
+    assert rep.cpu_max >= rep.cpu_mean
+
+
+def test_utilization_off_by_default():
+    res = run_app(make_app("atpg"), "original", 1, 2, small_params("atpg"))
+    assert res.utilization is None
+
+
+def test_atpg_is_cpu_bound():
+    res = run_app(make_app("atpg"), "original", 2, 3, small_params("atpg"),
+                  utilization=True)
+    assert res.utilization.bottleneck() == "cpu"
+    assert res.utilization.cpu_mean > 0.5
+
+
+def test_ra_is_gateway_bound_on_wan():
+    params = small_params("ra").with_(n_positions=2000)
+    res = run_app(make_app("ra"), "original", 4, 2, params, utilization=True)
+    assert res.utilization.bottleneck() == "gateway"
+
+
+def test_format_utilization_mentions_bottleneck():
+    rep = UtilizationReport(elapsed=1.0, cpu=[0.9, 0.8], gateway=[0.1],
+                            wan={(0, 1): 0.05})
+    text = format_utilization(rep)
+    assert "cpu" in text and "90.0%" in text
+
+
+def test_latency_bound_verdict():
+    rep = UtilizationReport(elapsed=1.0, cpu=[0.1], gateway=[0.2],
+                            wan={(0, 1): 0.1})
+    assert rep.bottleneck() == "latency"
+
+
+# ------------------------------------------------------------------- plot
+
+
+def _point(clusters, cpus, speedup):
+    res = AppResult(app="x", variant="original", n_clusters=clusters,
+                    nodes_per_cluster=cpus // clusters, elapsed=1.0,
+                    answer=None)
+    return CurvePoint(clusters, cpus, 1.0, speedup, res)
+
+
+def test_ascii_plot_renders_markers_and_axes():
+    curves = {
+        1: [_point(1, 15, 14.0), _point(1, 60, 50.0)],
+        4: [_point(4, 60, 10.0)],
+    }
+    text = ascii_speedup_plot(curves, title="Test figure")
+    assert "Test figure" in text
+    assert "o" in text and "#" in text and "." in text
+    assert "CPUs" in text
+    # Higher speedups are drawn higher: find rows of the two "o" markers.
+    rows_with_o = [i for i, line in enumerate(text.splitlines())
+                   if "o" in line]
+    assert rows_with_o[0] < rows_with_o[-1]
+
+
+def test_ascii_plot_from_real_curve():
+    curves = speedup_curve(make_app("atpg"), "original",
+                           small_params("atpg"), cluster_counts=(1,),
+                           cpu_counts=(2, 4))
+    text = ascii_speedup_plot(curves)
+    assert text.count("o") >= 2
+
+
+def test_ascii_plot_clamps_out_of_range():
+    curves = {1: [_point(1, 120, 200.0)]}  # beyond both axes
+    text = ascii_speedup_plot(curves)
+    assert "o" in text  # clamped into the grid, not crashed
