@@ -13,12 +13,14 @@ Paper shape assertions:
 from conftest import emit, run_once
 
 from repro.apps import PAPER_ORDER
-from repro.harness import figure15_bars, format_bars
+from repro.harness import figure15_bars_many, format_bars
 
 
 def test_fig15_four_cluster_summary(benchmark):
     def run():
-        return {name: figure15_bars(name) for name in PAPER_ORDER}
+        # One flat batch: every grid point is visible to the sweep pool
+        # at once (set REPRO_JOBS>1 to parallelize).
+        return figure15_bars_many(PAPER_ORDER)
 
     bars = run_once(benchmark, run)
     emit("fig15_summary",

@@ -9,12 +9,14 @@ upper bound" than in the four-cluster experiment.
 from conftest import emit, run_once
 
 from repro.apps import PAPER_ORDER
-from repro.harness import figure15_bars, figure16_bars, format_bars
+from repro.harness import figure15_bars, figure16_bars_many, format_bars
 
 
 def test_fig16_two_cluster_summary(benchmark):
     def run():
-        return {name: figure16_bars(name) for name in PAPER_ORDER}
+        # One flat batch: every grid point is visible to the sweep pool
+        # at once (set REPRO_JOBS>1 to parallelize).
+        return figure16_bars_many(PAPER_ORDER)
 
     bars = run_once(benchmark, run)
     emit("fig16_twocluster",

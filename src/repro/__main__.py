@@ -7,8 +7,13 @@ Examples::
     python -m repro table 2
     python -m repro table 4                   # tables 4 & 5 (traffic)
     python -m repro figure fig5               # one speedup figure
-    python -m repro figure fig15              # the 4-cluster summary
+    python -m repro figure fig15 --jobs 4     # the 4-cluster summary, parallel
     python -m repro app water --variant optimized --clusters 4 --nodes 15
+    python -m repro cache clear               # drop the result cache
+
+Experiment commands accept ``--jobs N`` (or the ``REPRO_JOBS`` env var)
+to fan the independent simulations of a figure or table out over a
+process pool, and ``--no-cache`` to bypass the on-disk result cache.
 """
 
 from __future__ import annotations
@@ -20,20 +25,28 @@ from .apps import PAPER_ORDER, make_app
 from .harness import (
     QUICK_CPUS,
     SPEEDUP_FIGURES,
+    ParallelRunner,
+    ResultCache,
+    RunSpec,
     bench_params,
-    figure15_bars,
-    figure16_bars,
+    figure15_bars_many,
+    figure16_bars_many,
     figure_curves,
     format_bars,
     format_curves,
     format_table1,
     format_table2,
     format_traffic,
-    run_app,
     table1_microbenchmarks,
     table2_row,
     traffic_row,
 )
+
+
+def _runner(args) -> ParallelRunner:
+    """Build the sweep runner from the shared --jobs/--no-cache flags."""
+    cache = None if getattr(args, "no_cache", False) else ResultCache()
+    return ParallelRunner(jobs=getattr(args, "jobs", None), cache=cache)
 
 
 def cmd_list(_args) -> int:
@@ -46,20 +59,21 @@ def cmd_list(_args) -> int:
 
 def cmd_table(args) -> int:
     """Regenerate one of the paper's tables."""
+    runner = _runner(args)
     if args.number == 1:
         print(format_table1(table1_microbenchmarks()))
     elif args.number == 2:
         rows = []
         for name in PAPER_ORDER:
             print(f"running {name}...", file=sys.stderr)
-            rows.append(table2_row(name))
+            rows.append(table2_row(name, runner=runner))
         print(format_table2(rows))
     elif args.number in (4, 5):
         before, after = [], []
         for name in PAPER_ORDER:
             print(f"running {name}...", file=sys.stderr)
-            before.append(traffic_row(name, "original"))
-            after.append(traffic_row(name, "optimized"))
+            before.append(traffic_row(name, "original", runner=runner))
+            after.append(traffic_row(name, "optimized", runner=runner))
         print(format_traffic("Table 4: intercluster traffic before "
                              "optimization (P=60, C=4)", before))
         print()
@@ -75,22 +89,22 @@ def cmd_table(args) -> int:
 def cmd_figure(args) -> int:
     """Regenerate one of the paper's figures."""
     fig = args.figure
+    runner = _runner(args)
     if fig == "fig15":
-        bars = {}
-        for name in PAPER_ORDER:
-            print(f"running {name}...", file=sys.stderr)
-            bars[name] = figure15_bars(name)
+        print(f"running {len(PAPER_ORDER)} apps "
+              f"({runner.jobs} jobs)...", file=sys.stderr)
+        bars = figure15_bars_many(PAPER_ORDER, runner=runner)
         print(format_bars("Figure 15: four-cluster performance improvements",
                           bars))
     elif fig == "fig16":
-        bars = {}
-        for name in PAPER_ORDER:
-            print(f"running {name}...", file=sys.stderr)
-            bars[name] = figure16_bars(name)
+        print(f"running {len(PAPER_ORDER)} apps "
+              f"({runner.jobs} jobs)...", file=sys.stderr)
+        bars = figure16_bars_many(PAPER_ORDER, runner=runner)
         print(format_bars("Figure 16: two-cluster performance improvements",
                           bars))
     elif fig in SPEEDUP_FIGURES:
-        curves = figure_curves(fig, cpu_counts=tuple(args.cpus))
+        curves = figure_curves(fig, cpu_counts=tuple(args.cpus),
+                               runner=runner)
         if args.plot:
             from .harness import ascii_speedup_plot
             spec = SPEEDUP_FIGURES[fig]
@@ -100,14 +114,23 @@ def cmd_figure(args) -> int:
     else:
         print(f"no such figure: {fig}", file=sys.stderr)
         return 2
+    if runner.hits:
+        print(f"({runner.hits} cached, {runner.computed} simulated)",
+              file=sys.stderr)
     return 0
 
 
 def cmd_app(args) -> int:
     """Run a single application configuration and print its traffic."""
-    app = make_app(args.app)
+    try:
+        make_app(args.app).check_variant(args.variant)
+    except ValueError as exc:
+        print(f"repro app: error: {exc}", file=sys.stderr)
+        return 2
+    runner = _runner(args)
     params = bench_params(args.app)
-    res = run_app(app, args.variant, args.clusters, args.nodes, params)
+    res = runner.run_one(RunSpec(args.app, args.variant, args.clusters,
+                                 args.nodes, params))
     print(f"{args.app}/{args.variant} on {args.clusters}x{args.nodes}: "
           f"{res.elapsed:.4f} virtual seconds")
     for key, row in sorted(res.traffic.items()):
@@ -117,6 +140,30 @@ def cmd_app(args) -> int:
     if res.stats:
         print(f"  stats: {res.stats}")
     return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect or clear the on-disk sweep result cache."""
+    cache = ResultCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+    else:
+        import os
+        count = sum(
+            name.endswith(".pkl")
+            for _dir, _dirs, files in os.walk(cache.root) for name in files
+        ) if os.path.isdir(cache.root) else 0
+        print(f"cache: {cache.root} ({count} results)")
+    return 0
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for independent runs "
+                             "(default: $REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
 
 
 def main(argv=None) -> int:
@@ -131,6 +178,7 @@ def main(argv=None) -> int:
 
     p_table = sub.add_parser("table", help="regenerate a table")
     p_table.add_argument("number", type=int)
+    _add_sweep_flags(p_table)
 
     p_fig = sub.add_parser("figure", help="regenerate a figure")
     p_fig.add_argument("figure")
@@ -138,16 +186,22 @@ def main(argv=None) -> int:
                        default=list(QUICK_CPUS))
     p_fig.add_argument("--plot", action="store_true",
                        help="render as an ASCII chart")
+    _add_sweep_flags(p_fig)
 
     p_app = sub.add_parser("app", help="run one application once")
     p_app.add_argument("app", choices=PAPER_ORDER)
     p_app.add_argument("--variant", default="original")
     p_app.add_argument("--clusters", type=int, default=4)
     p_app.add_argument("--nodes", type=int, default=15)
+    _add_sweep_flags(p_app)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    p_cache.add_argument("action", choices=["info", "clear"], nargs="?",
+                         default="info")
 
     args = parser.parse_args(argv)
-    return {"list": cmd_list, "table": cmd_table,
-            "figure": cmd_figure, "app": cmd_app}[args.command](args)
+    return {"list": cmd_list, "table": cmd_table, "figure": cmd_figure,
+            "app": cmd_app, "cache": cmd_cache}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -2,6 +2,7 @@
 
 from .experiment import PAPER_CPU_COUNTS, CurvePoint, run_app, speedup_curve
 from .plot import ascii_speedup_plot
+from .sweeps import ParallelRunner, ResultCache, RunSpec, default_jobs
 from .figures import (
     FULL_CPUS,
     QUICK_CPUS,
@@ -9,7 +10,9 @@ from .figures import (
     FigureSpec,
     bench_params,
     figure15_bars,
+    figure15_bars_many,
     figure16_bars,
+    figure16_bars_many,
     figure_curves,
     format_bars,
     format_curves,
@@ -29,6 +32,12 @@ __all__ = [
     "CurvePoint",
     "run_app",
     "speedup_curve",
+    "ParallelRunner",
+    "ResultCache",
+    "RunSpec",
+    "default_jobs",
+    "figure15_bars_many",
+    "figure16_bars_many",
     "FULL_CPUS",
     "QUICK_CPUS",
     "SPEEDUP_FIGURES",

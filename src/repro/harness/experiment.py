@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..apps import ALL_APPS
 from ..apps.base import Application, AppResult
 from ..network import DAS_PARAMS, Fabric, NetworkParams, Topology, uniform_clusters
 from ..orca import OrcaRuntime
@@ -101,30 +102,57 @@ def speedup_curve(app: Application, variant: str, params: Any,
                   network: NetworkParams = DAS_PARAMS,
                   sequencer: Optional[str] = None,
                   baseline_elapsed: Optional[float] = None,
+                  runner: Optional["ParallelRunner"] = None,
                   ) -> Dict[int, List[CurvePoint]]:
     """Speedup vs CPU count, one curve per cluster count (Figures 1-14).
 
     Speedup is relative to the same program on one processor, as in the
     paper ("speedup relative to the one-processor case" for originals,
     "relative to itself" for optimized programs).
+
+    The grid points are independent simulations; they are dispatched
+    through ``runner`` (a :class:`~repro.harness.sweeps.ParallelRunner`),
+    which parallelizes and caches them.  With no runner, a default one is
+    built (``REPRO_JOBS`` workers, no cache).  Apps not in the registry
+    (custom :class:`Application` subclasses) fall back to in-process
+    serial execution, since their specs cannot be rebuilt by a worker.
     """
-    if baseline_elapsed is None:
-        base = run_app(app, variant, 1, 1, params, network=network,
-                       sequencer=sequencer)
-        baseline_elapsed = base.elapsed
-    curves: Dict[int, List[CurvePoint]] = {}
+    from .sweeps import ParallelRunner, RunSpec
+
+    grid: List[tuple] = []  # (n_clusters, n_cpus, per)
     for n_clusters in cluster_counts:
-        points: List[CurvePoint] = []
         for n_cpus in cpu_counts:
             if n_cpus % n_clusters != 0:
                 continue  # equal number of processors per cluster
             per = n_cpus // n_clusters
             if per < 1:
                 continue
-            res = run_app(app, variant, n_clusters, per, params,
-                          network=network, sequencer=sequencer)
-            speed = baseline_elapsed / res.elapsed if res.elapsed > 0 else 0.0
-            points.append(CurvePoint(n_clusters, n_cpus, res.elapsed, speed,
-                                     res))
-        curves[n_clusters] = points
+            grid.append((n_clusters, n_cpus, per))
+
+    if app.name in ALL_APPS:
+        if runner is None:
+            runner = ParallelRunner()
+        need_base = baseline_elapsed is None
+        specs = [RunSpec(app.name, variant, c, per, params, network=network,
+                         sequencer=sequencer) for (c, _n, per) in grid]
+        if need_base:
+            specs.append(RunSpec(app.name, variant, 1, 1, params,
+                                 network=network, sequencer=sequencer))
+        outcomes = runner.run(specs)
+        if need_base:
+            baseline_elapsed = outcomes[-1].elapsed
+            outcomes = outcomes[:-1]
+    else:  # unregistered app: run in-process
+        if baseline_elapsed is None:
+            baseline_elapsed = run_app(app, variant, 1, 1, params,
+                                       network=network,
+                                       sequencer=sequencer).elapsed
+        outcomes = [run_app(app, variant, c, per, params, network=network,
+                            sequencer=sequencer) for (c, _n, per) in grid]
+
+    curves: Dict[int, List[CurvePoint]] = {c: [] for c in cluster_counts}
+    for (n_clusters, n_cpus, _per), res in zip(grid, outcomes):
+        speed = baseline_elapsed / res.elapsed if res.elapsed > 0 else 0.0
+        curves[n_clusters].append(
+            CurvePoint(n_clusters, n_cpus, res.elapsed, speed, res))
     return curves

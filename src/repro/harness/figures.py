@@ -15,7 +15,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..apps import make_app, paper_params
 from ..apps.base import AppResult
 from ..network import DAS_PARAMS, NetworkParams
-from .experiment import CurvePoint, run_app, speedup_curve
+from .experiment import CurvePoint, speedup_curve
+from .sweeps import ParallelRunner, RunSpec
 
 __all__ = [
     "FigureSpec",
@@ -23,7 +24,9 @@ __all__ = [
     "bench_params",
     "figure_curves",
     "figure15_bars",
+    "figure15_bars_many",
     "figure16_bars",
+    "figure16_bars_many",
     "format_curves",
     "format_bars",
     "QUICK_CPUS",
@@ -83,66 +86,119 @@ def figure_curves(figure: str,
                   cpu_counts: Sequence[int] = QUICK_CPUS,
                   cluster_counts: Sequence[int] = (1, 2, 4),
                   network: NetworkParams = DAS_PARAMS,
+                  baseline_elapsed: Optional[float] = None,
+                  runner: Optional[ParallelRunner] = None,
                   ) -> Dict[int, List[CurvePoint]]:
-    """Regenerate one of Figures 1-14 as speedup curves."""
+    """Regenerate one of Figures 1-14 as speedup curves.
+
+    ``runner`` parallelizes/caches the grid; ``baseline_elapsed`` skips
+    the 1x1 baseline run when the caller already has it (e.g. from a
+    sibling figure of the same app/variant).
+    """
     spec = SPEEDUP_FIGURES[figure]
     app = make_app(spec.app)
     return speedup_curve(app, spec.variant, bench_params(spec.app),
                          cluster_counts=cluster_counts,
-                         cpu_counts=cpu_counts, network=network)
+                         cpu_counts=cpu_counts, network=network,
+                         baseline_elapsed=baseline_elapsed, runner=runner)
 
 
 # ------------------------------------------------------- summary figures
 
+#: Figure 15 bars as (label, variant-role, n_clusters, nodes_per_cluster);
+#: the "opt" role degrades to "original" for apps with no optimized variant.
+_FIG15_BARS = (
+    ("lower_bound_15_1", "original", 1, 15),
+    ("original_60_4", "original", 4, 15),
+    ("optimized_60_4", "opt", 4, 15),
+    ("upper_bound_60_1", "opt", 1, 60),
+)
+
+#: Figure 16 bars (two-cluster Delft + VU Amsterdam study).
+_FIG16_BARS = (
+    ("original_16_1", "original", 1, 16),
+    ("original_32_2", "original", 2, 16),
+    ("optimized_32_2", "opt", 2, 16),
+    ("optimized_32_1", "opt", 1, 32),
+)
+
+
+def _bar_specs(app_name: str, bars, network: NetworkParams) -> List[RunSpec]:
+    """The run grid behind one app's summary bars: each bar's run plus the
+    two 1x1 baselines (appended last).  Duplicate specs (apps without an
+    optimized variant) are deduplicated by the runner."""
+    app = make_app(app_name)
+    params = bench_params(app_name)
+    opt = "optimized" if "optimized" in app.variants else "original"
+    variant = {"original": "original", "opt": opt}
+    specs = [RunSpec(app_name, variant[role], c, per, params, network=network)
+             for (_label, role, c, per) in bars]
+    specs.append(RunSpec(app_name, "original", 1, 1, params, network=network))
+    specs.append(RunSpec(app_name, opt, 1, 1, params, network=network))
+    return specs
+
+
+def _bar_values(bars, results: List[AppResult]) -> Dict[str, float]:
+    """Speedups for one app's bars from its grid results (baselines last)."""
+    t1 = {"original": results[-2].elapsed, "opt": results[-1].elapsed}
+    return {label: t1[role] / res.elapsed
+            for (label, role, _c, _p), res in zip(bars, results)}
+
+
+def _bars_many(app_names: Sequence[str], bars, network: NetworkParams,
+               runner: Optional[ParallelRunner]) -> Dict[str, Dict[str, float]]:
+    """One flat batch for several apps' bars — a single runner.run() call,
+    so every independent simulation is available to the pool at once."""
+    if runner is None:
+        runner = ParallelRunner()
+    per_app = [_bar_specs(name, bars, network) for name in app_names]
+    flat = [spec for specs in per_app for spec in specs]
+    results = runner.run(flat)
+    out: Dict[str, Dict[str, float]] = {}
+    pos = 0
+    for name, specs in zip(app_names, per_app):
+        chunk = results[pos:pos + len(specs)]
+        pos += len(specs)
+        out[name] = _bar_values(bars, chunk)
+    return out
+
 
 def figure15_bars(app_name: str,
-                  network: NetworkParams = DAS_PARAMS) -> Dict[str, float]:
+                  network: NetworkParams = DAS_PARAMS,
+                  runner: Optional[ParallelRunner] = None
+                  ) -> Dict[str, float]:
     """Figure 15: four bars for one application (4-cluster study).
 
     lower bound = original on 1x15; original/optimized on 4x15;
     upper bound = optimized on 1x60.  Values are speedups relative to the
     variant's own single-processor run, as in the paper.
     """
-    app = make_app(app_name)
-    params = bench_params(app_name)
-    opt = "optimized" if "optimized" in app.variants else "original"
+    return _bars_many([app_name], _FIG15_BARS, network, runner)[app_name]
 
-    t1_orig = run_app(app, "original", 1, 1, params, network=network).elapsed
-    t1_opt = run_app(app, opt, 1, 1, params, network=network).elapsed
 
-    def speed(variant, n_clusters, per, t1):
-        res = run_app(app, variant, n_clusters, per, params, network=network)
-        return t1 / res.elapsed
-
-    return {
-        "lower_bound_15_1": speed("original", 1, 15, t1_orig),
-        "original_60_4": speed("original", 4, 15, t1_orig),
-        "optimized_60_4": speed(opt, 4, 15, t1_opt),
-        "upper_bound_60_1": speed(opt, 1, 60, t1_opt),
-    }
+def figure15_bars_many(app_names: Sequence[str],
+                       network: NetworkParams = DAS_PARAMS,
+                       runner: Optional[ParallelRunner] = None
+                       ) -> Dict[str, Dict[str, float]]:
+    """Figure 15 bars for several apps as one parallel batch."""
+    return _bars_many(app_names, _FIG15_BARS, network, runner)
 
 
 def figure16_bars(app_name: str,
-                  network: NetworkParams = DAS_PARAMS) -> Dict[str, float]:
+                  network: NetworkParams = DAS_PARAMS,
+                  runner: Optional[ParallelRunner] = None
+                  ) -> Dict[str, float]:
     """Figure 16: the two-cluster (Delft + VU Amsterdam) study: original on
     16/1, original and optimized on 32/2, optimized on 32/1."""
-    app = make_app(app_name)
-    params = bench_params(app_name)
-    opt = "optimized" if "optimized" in app.variants else "original"
+    return _bars_many([app_name], _FIG16_BARS, network, runner)[app_name]
 
-    t1_orig = run_app(app, "original", 1, 1, params, network=network).elapsed
-    t1_opt = run_app(app, opt, 1, 1, params, network=network).elapsed
 
-    def speed(variant, n_clusters, per, t1):
-        res = run_app(app, variant, n_clusters, per, params, network=network)
-        return t1 / res.elapsed
-
-    return {
-        "original_16_1": speed("original", 1, 16, t1_orig),
-        "original_32_2": speed("original", 2, 16, t1_orig),
-        "optimized_32_2": speed(opt, 2, 16, t1_opt),
-        "optimized_32_1": speed(opt, 1, 32, t1_opt),
-    }
+def figure16_bars_many(app_names: Sequence[str],
+                       network: NetworkParams = DAS_PARAMS,
+                       runner: Optional[ParallelRunner] = None
+                       ) -> Dict[str, Dict[str, float]]:
+    """Figure 16 bars for several apps as one parallel batch."""
+    return _bars_many(app_names, _FIG16_BARS, network, runner)
 
 
 # ------------------------------------------------------------ formatting

@@ -1,0 +1,238 @@
+"""Parallel experiment sweeps: fan independent runs over a process pool.
+
+Every paper artifact is a grid of *fully independent* :func:`run_app`
+simulations, so the sweep layer parallelizes them the obvious way: a
+:class:`RunSpec` is a small picklable description of one grid point, a
+:class:`ParallelRunner` maps a list of specs over a ``multiprocessing``
+pool (each worker rebuilds the full simulator stack from the spec and
+returns the slim :class:`AppResult`), and a :class:`ResultCache` keyed by
+a content hash of the spec — problem parameters and network parameters
+included — lets a re-run of a figure skip every already-computed point.
+
+Properties the rest of the harness relies on:
+
+* **Determinism** — results come back in spec order, and each simulation
+  is bit-identical whether it ran in-process, in a worker, or out of the
+  cache (the simulator itself is deterministic; the pool only changes
+  *where* a run executes, never what it computes).
+* **Serial fallback** — ``jobs=1`` (the default) never touches
+  ``multiprocessing``; the ``REPRO_JOBS`` environment variable supplies
+  the default worker count for CLI and library callers alike.
+* **Deduplication** — identical specs in one batch are computed once
+  (figure harnesses share 1x1 baselines between variants and figures).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..apps import ALL_APPS, make_app
+from ..apps.base import AppResult
+from ..network import DAS_PARAMS, NetworkParams
+
+__all__ = [
+    "RunSpec",
+    "ResultCache",
+    "ParallelRunner",
+    "default_jobs",
+    "default_cache_dir",
+]
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Salt mixed into every cache key.  Bump when a simulator change is
+#: *meant* to alter results, so stale entries cannot shadow new numbers
+#: (pure host-time optimizations do not need a bump — virtual-time
+#: results are bit-identical by design).
+CACHE_SCHEMA = "1"
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1 — fully serial)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def default_cache_dir() -> str:
+    """``REPRO_CACHE_DIR``, or ``~/.cache/repro/sweeps``."""
+    override = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "sweeps")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A picklable description of one ``run_app`` invocation.
+
+    ``app`` is the registry name (the worker rebuilds the application
+    object with :func:`make_app`); ``params`` is the app's frozen
+    parameter dataclass; everything else mirrors ``run_app``'s signature.
+    """
+
+    app: str
+    variant: str
+    n_clusters: int
+    nodes_per_cluster: int
+    params: Any
+    network: NetworkParams = DAS_PARAMS
+    sequencer: Optional[str] = None
+    dedicated_sequencer_node: bool = False
+
+    def __post_init__(self):
+        if self.app not in ALL_APPS:
+            raise ValueError(f"unknown application {self.app!r}; "
+                             f"choose from {sorted(ALL_APPS)}")
+
+    def key(self) -> str:
+        """Content hash of the spec (problem + network params included).
+
+        The hash is over the ``repr`` of the frozen dataclasses, which
+        spells out every field by name — any parameter change, including
+        a nested network/link parameter, invalidates the cache entry.
+        """
+        text = repr((CACHE_SCHEMA, self.app, self.variant, self.n_clusters,
+                     self.nodes_per_cluster, self.params, self.network,
+                     self.sequencer, self.dedicated_sequencer_node))
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def execute(self) -> AppResult:
+        """Rebuild the stack and run this grid point (in this process)."""
+        from .experiment import run_app
+
+        return run_app(make_app(self.app), self.variant, self.n_clusters,
+                       self.nodes_per_cluster, self.params,
+                       network=self.network, sequencer=self.sequencer,
+                       dedicated_sequencer_node=self.dedicated_sequencer_node)
+
+
+def _execute_spec(spec: RunSpec) -> AppResult:
+    """Module-level worker entry point (picklable for the pool)."""
+    return spec.execute()
+
+
+class ResultCache:
+    """On-disk result cache: one pickle per content-hash key.
+
+    Writes are atomic (tempfile + rename), so a crashed or parallel
+    writer can never leave a truncated entry; unreadable entries are
+    treated as misses and overwritten.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root if root is not None else default_cache_dir()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def get(self, key: str) -> Optional[AppResult]:
+        try:
+            with open(self._path(key), "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return None
+
+    def put(self, key: str, result: AppResult) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Remove every cached entry; returns the number removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for dirpath, _dirs, files in os.walk(self.root):
+            for name in files:
+                if name.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+
+class ParallelRunner:
+    """Runs batches of :class:`RunSpec` over a process pool.
+
+    ``jobs`` defaults to ``REPRO_JOBS`` (or 1).  ``jobs=1`` runs serially
+    in-process — no pool, no pickling.  Results always come back in spec
+    order, and duplicate specs within a batch are computed only once.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None):
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.cache = cache
+        self.hits = 0      # cache hits over this runner's lifetime
+        self.computed = 0  # specs actually simulated
+
+    def run_one(self, spec: RunSpec) -> AppResult:
+        return self.run([spec])[0]
+
+    def run(self, specs: Sequence[RunSpec]) -> List[AppResult]:
+        results: List[Optional[AppResult]] = [None] * len(specs)
+        # Group uncached work by content key so duplicates run once.
+        todo: Dict[str, List[int]] = {}
+        keyed: Dict[str, RunSpec] = {}
+        for i, spec in enumerate(specs):
+            key = spec.key()
+            if self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    self.hits += 1
+                    continue
+            todo.setdefault(key, []).append(i)
+            keyed[key] = spec
+        if todo:
+            keys = list(todo)
+            work = [keyed[k] for k in keys]
+            if self.jobs > 1 and len(work) > 1:
+                computed = self._run_pool(work)
+            else:
+                computed = [spec.execute() for spec in work]
+            self.computed += len(work)
+            for key, result in zip(keys, computed):
+                if self.cache is not None:
+                    self.cache.put(key, result)
+                for i in todo[key]:
+                    results[i] = result
+        return results  # type: ignore[return-value]
+
+    def _run_pool(self, work: List[RunSpec]) -> List[AppResult]:
+        import multiprocessing as mp
+
+        # fork shares the already-imported package with the workers;
+        # spawn (macOS/Windows default) re-imports it from sys.path.
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            ctx = mp.get_context("spawn")
+        n = min(self.jobs, len(work))
+        with ctx.Pool(processes=n) as pool:
+            # chunksize=1: grid points are coarse and unevenly sized.
+            return pool.map(_execute_spec, work, chunksize=1)

@@ -17,8 +17,8 @@ from ..apps import PAPER_ORDER, make_app
 from ..network import DAS_PARAMS, Fabric, NetworkParams, uniform_clusters
 from ..orca import ObjectSpec, Operation, OrcaRuntime
 from ..sim import Simulator
-from .experiment import run_app
 from .figures import bench_params
+from .sweeps import ParallelRunner, RunSpec
 
 __all__ = [
     "table1_microbenchmarks",
@@ -162,13 +162,17 @@ def table1_microbenchmarks(network: NetworkParams = DAS_PARAMS
 
 
 def table2_row(app_name: str,
-               network: NetworkParams = DAS_PARAMS) -> Dict[str, Any]:
+               network: NetworkParams = DAS_PARAMS,
+               runner: Optional[ParallelRunner] = None) -> Dict[str, Any]:
     """Application characteristics on one 60-node cluster (the paper's
     64-node column, minus the nodes our experiments reserve as gateways)."""
-    app = make_app(app_name)
+    if runner is None:
+        runner = ParallelRunner()
     params = bench_params(app_name)
-    base = run_app(app, "original", 1, 1, params, network=network)
-    res = run_app(app, "original", 1, 60, params, network=network)
+    base, res = runner.run([
+        RunSpec(app_name, "original", 1, 1, params, network=network),
+        RunSpec(app_name, "original", 1, 60, params, network=network),
+    ])
     el = max(res.elapsed, 1e-12)
 
     def rate(kind, field):
@@ -190,14 +194,18 @@ def table2_row(app_name: str,
 
 
 def traffic_row(app_name: str, variant: str,
-                network: NetworkParams = DAS_PARAMS) -> Dict[str, Any]:
+                network: NetworkParams = DAS_PARAMS,
+                runner: Optional[ParallelRunner] = None) -> Dict[str, Any]:
     """One row of Table 4 (original) or Table 5 (optimized): intercluster
     traffic on four 15-node clusters."""
     app = make_app(app_name)
     if variant not in app.variants:
         variant = "original"
+    if runner is None:
+        runner = ParallelRunner()
     params = bench_params(app_name)
-    res = run_app(app, variant, 4, 15, params, network=network)
+    res = runner.run_one(
+        RunSpec(app_name, variant, 4, 15, params, network=network))
 
     def get(kind):
         return res.traffic.get(f"inter.{kind}", {"count": 0, "bytes": 0})

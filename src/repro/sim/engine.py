@@ -175,7 +175,7 @@ class Process(Event):
     exceptions, so processes can use ordinary ``try/except``.
     """
 
-    __slots__ = ("gen", "name", "_waiting_on")
+    __slots__ = ("gen", "name", "_waiting_on", "_kick", "_kick_cbs")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim)
@@ -184,10 +184,17 @@ class Process(Event):
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        # Bootstrap: resume the generator at the current instant.
+        self._kick: Optional[Event] = None
+        self._kick_cbs: Optional[list] = None
+        sim._n_spawned += 1
+        # Bootstrap: resume the generator at the current instant.  The
+        # start event is born triggered (value None, ok) and posted
+        # directly — equivalent to Event(sim).succeed(None) without the
+        # extra call frames on a path taken once per message leg.
         start = Event(sim)
+        start._value = None
         start.callbacks.append(self._resume)
-        start.succeed(None)
+        sim._post(start)
 
     @property
     def is_alive(self) -> bool:
@@ -210,33 +217,50 @@ class Process(Event):
         kick.fail(Interrupt(cause))
 
     def _resume(self, ev: Event) -> None:
-        if self.triggered:  # already finished (e.g. interrupted mid-wait)
+        if self._value is not PENDING:  # finished (e.g. interrupted mid-wait)
             return
         self._waiting_on = None
-        try:
-            if ev._ok:
-                target = self.gen.send(ev._value)
-            else:
-                target = self.gen.throw(ev._value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:
-            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
-                raise
-            self.fail(exc)
-            return
-        if not isinstance(target, Event):
-            self.gen.throw(
-                SimulationError(
-                    f"process {self.name!r} yielded {target!r}, expected an Event"
-                )
+        gen = self.gen
+        value = ev._value
+        ok = ev._ok
+        while True:
+            try:
+                if ok:
+                    target = gen.send(value)
+                else:
+                    target = gen.throw(value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                self.fail(exc)
+                return
+            if isinstance(target, Event):
+                break
+            # Misuse: throw into the generator *and keep driving it* — it
+            # may catch the error and yield a proper Event (loop again),
+            # return (StopIteration above), or let it propagate (the
+            # process fails with the SimulationError).
+            ok = False
+            value = SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
             )
-            return
-        if target.processed:
-            # Already fired and processed: resume immediately (next tick).
-            kick = Event(self.sim)
-            kick.callbacks.append(self._resume)
+        if target.callbacks is None:
+            # Already fired and processed: resume immediately (next tick)
+            # via a recycled per-process kick event instead of allocating
+            # a fresh one for every such resume.
+            kick = self._kick
+            if kick is None or kick.callbacks is not None:
+                # First use, or the previous kick is still in the heap
+                # (an interrupt resumed us early): allocate.
+                kick = Event(self.sim)
+                self._kick = kick
+                self._kick_cbs = kick.callbacks = [self._resume]
+            else:
+                kick._scheduled = False
+                kick.callbacks = self._kick_cbs
             kick._value = target._value
             kick._ok = target._ok
             self.sim._post(kick)
@@ -254,13 +278,31 @@ class Simulator:
         self._heap: list = []
         self._seq: int = 0
         self._running = False
+        self._n_spawned: int = 0
 
     # -- event factory helpers -------------------------------------------
     def event(self) -> Event:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        # Fast path: build the Timeout and schedule it inline (this is the
+        # single most-called allocation in the simulator — every CPU
+        # charge and every wire leg goes through it).  Equivalent to
+        # Timeout(self, delay, value) without the two __init__ frames and
+        # the _post call.
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        ev = Event.__new__(Timeout)
+        ev.sim = self
+        ev.callbacks = []
+        ev._value = PENDING
+        ev._ok = True
+        ev._scheduled = True
+        ev._default = value
+        ev.delay = delay
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (self.now + delay, seq, ev))
+        return ev
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -288,6 +330,20 @@ class Simulator:
         ev.callbacks.append(lambda _ev: fn())
         return ev
 
+    # -- introspection ----------------------------------------------------
+    def stats(self) -> dict:
+        """Dispatch counters: events popped and processes spawned.
+
+        ``events_processed`` is derived — every scheduled entry bumps
+        ``_seq`` and sits in the heap until popped, so the difference is
+        exactly the number of dispatches.  This keeps the counter live
+        mid-run without any cost in the dispatch loop.
+        """
+        return {
+            "events_processed": self._seq - len(self._heap),
+            "processes_spawned": self._n_spawned,
+        }
+
     # -- main loop --------------------------------------------------------
     def step(self) -> None:
         """Process the next scheduled event (advances the clock)."""
@@ -295,7 +351,6 @@ class Simulator:
         self.now = when
         if event._value is PENDING:  # scheduled directly (Timeout): fire now
             event._value = event._default
-            event._ok = True
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks is None:
@@ -311,13 +366,27 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        # The dispatch loop is inlined (no per-event step() frame) with
+        # hot globals bound to locals; an event triggered by succeed/fail
+        # already carries its value, so only heap-fired events (Timeouts)
+        # take the PENDING branch, and ``_ok`` needs no write (fail()
+        # always sets the value, so a PENDING pop is always ok).
+        heappop = heapq.heappop
+        heap = self._heap
         try:
-            while self._heap:
-                when = self._heap[0][0]
-                if until is not None and when > until:
+            while heap:
+                if until is not None and heap[0][0] > until:
                     self.now = until
                     break
-                self.step()
+                when, _seq, event = heappop(heap)
+                self.now = when
+                if event._value is PENDING:
+                    event._value = event._default
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks is not None:
+                    for cb in callbacks:
+                        cb(event)
         finally:
             self._running = False
         return self.now
@@ -334,11 +403,21 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        heappop = heapq.heappop
+        heap = self._heap
         try:
             # Stop as soon as the process completes so orphaned timers
             # (e.g. abandoned timeouts) do not advance the clock further.
-            while self._heap and not proc.triggered:
-                self.step()
+            while heap and proc._value is PENDING:
+                when, _seq, event = heappop(heap)
+                self.now = when
+                if event._value is PENDING:
+                    event._value = event._default
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks is not None:
+                    for cb in callbacks:
+                        cb(event)
         finally:
             self._running = False
         if not proc.triggered:

@@ -1,0 +1,14 @@
+"""Test-wide fixtures: keep sweeps hermetic.
+
+Every test gets a private, empty result cache and a serial default
+runner, so the suite neither reads nor pollutes the user's real
+``~/.cache/repro`` and cannot be skewed by stale cached results.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_sweep_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "sweep-cache"))
+    monkeypatch.delenv("REPRO_JOBS", raising=False)

@@ -1,0 +1,285 @@
+"""Tests for the parallel sweep subsystem (runner, cache, determinism)."""
+
+import pickle
+
+import pytest
+
+from repro.apps import small_params
+from repro.harness import (
+    ParallelRunner,
+    ResultCache,
+    RunSpec,
+    default_jobs,
+    figure15_bars,
+    figure15_bars_many,
+    figure_curves,
+    speedup_curve,
+)
+from repro.harness.sweeps import default_cache_dir
+from repro.network import INTERNET_PARAMS
+
+
+def _grid_specs():
+    """A small mixed grid: water + tsp on {1, 2} clusters."""
+    return [
+        RunSpec(app, variant, c, 2, small_params(app))
+        for app in ("water", "tsp")
+        for variant in ("original", "optimized")
+        for c in (1, 2)
+    ]
+
+
+def _same_results(a, b):
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.elapsed == rb.elapsed          # bit-identical, not approx
+        assert ra.traffic == rb.traffic
+        assert pickle.dumps(ra.answer) == pickle.dumps(rb.answer)
+
+
+# ------------------------------------------------------------ spec/key
+
+
+def test_spec_key_is_stable_and_content_sensitive():
+    spec = RunSpec("water", "original", 1, 2, small_params("water"))
+    same = RunSpec("water", "original", 1, 2, small_params("water"))
+    assert spec.key() == same.key()
+    assert spec.key() != RunSpec("water", "optimized", 1, 2,
+                                 small_params("water")).key()
+    assert spec.key() != RunSpec("water", "original", 2, 2,
+                                 small_params("water")).key()
+    # Problem parameters and network parameters are part of the key.
+    bigger = small_params("water").with_(n_molecules=128)
+    assert spec.key() != RunSpec("water", "original", 1, 2, bigger).key()
+    assert spec.key() != RunSpec("water", "original", 1, 2,
+                                 small_params("water"),
+                                 network=INTERNET_PARAMS).key()
+
+
+def test_spec_rejects_unknown_app():
+    with pytest.raises(ValueError, match="unknown application"):
+        RunSpec("nope", "original", 1, 1, None)
+
+
+def test_spec_execute_matches_run_app():
+    from repro.apps import make_app
+    from repro.harness import run_app
+
+    spec = RunSpec("tsp", "original", 2, 2, small_params("tsp"))
+    direct = run_app(make_app("tsp"), "original", 2, 2, small_params("tsp"))
+    via_spec = spec.execute()
+    _same_results([direct], [via_spec])
+
+
+# ------------------------------------------- determinism under parallelism
+
+
+def test_parallel_matches_serial_bit_identical():
+    specs = _grid_specs()
+    serial = ParallelRunner(jobs=1).run(specs)
+    parallel = ParallelRunner(jobs=4).run(specs)
+    _same_results(serial, parallel)
+
+
+def test_warm_cache_returns_identical_results(tmp_path):
+    specs = _grid_specs()
+    cache = ResultCache(str(tmp_path / "c"))
+    cold_runner = ParallelRunner(jobs=1, cache=cache)
+    cold = cold_runner.run(specs)
+    assert cold_runner.hits == 0
+    assert cold_runner.computed == len(specs)
+
+    warm_runner = ParallelRunner(jobs=4, cache=cache)
+    warm = warm_runner.run(specs)
+    assert warm_runner.hits == len(specs)
+    assert warm_runner.computed == 0
+    _same_results(cold, warm)
+
+
+def test_duplicate_specs_computed_once():
+    spec = RunSpec("tsp", "original", 1, 2, small_params("tsp"))
+    runner = ParallelRunner(jobs=1)
+    results = runner.run([spec, spec, spec])
+    assert runner.computed == 1
+    _same_results(results[:1], results[1:2])
+    _same_results(results[:1], results[2:])
+
+
+def test_results_come_back_in_spec_order():
+    specs = _grid_specs()
+    results = ParallelRunner(jobs=2).run(specs)
+    for spec, res in zip(specs, results):
+        assert (res.app, res.variant, res.n_clusters) == \
+            (spec.app, spec.variant, spec.n_clusters)
+
+
+# -------------------------------------------------------------- cache
+
+
+def test_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    spec = RunSpec("tsp", "original", 1, 2, small_params("tsp"))
+    key = spec.key()
+    assert cache.get(key) is None
+    path = cache._path(key)
+    import os
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "wb") as fh:
+        fh.write(b"not a pickle")
+    assert cache.get(key) is None
+    # A put repairs the entry.
+    result = spec.execute()
+    cache.put(key, result)
+    _same_results([cache.get(key)], [result])
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    spec = RunSpec("tsp", "original", 1, 2, small_params("tsp"))
+    cache.put(spec.key(), spec.execute())
+    assert cache.clear() == 1
+    assert cache.get(spec.key()) is None
+    assert cache.clear() == 0
+
+
+def test_default_jobs_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "6")
+    assert default_jobs() == 6
+    assert ParallelRunner().jobs == 6
+    monkeypatch.setenv("REPRO_JOBS", "junk")
+    assert default_jobs() == 1
+
+
+def test_default_cache_dir_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "x"))
+    assert default_cache_dir() == str(tmp_path / "x")
+    assert ResultCache().root == str(tmp_path / "x")
+
+
+# ------------------------------------------------- harness integration
+
+
+def test_speedup_curve_through_runner_matches_direct(tmp_path):
+    from repro.apps import make_app
+
+    app = make_app("tsp")
+    params = small_params("tsp")
+    cache = ResultCache(str(tmp_path / "c"))
+    direct = speedup_curve(app, "original", params,
+                           cluster_counts=(1, 2), cpu_counts=(2, 4))
+    runner = ParallelRunner(jobs=3, cache=cache)
+    cached = speedup_curve(app, "original", params,
+                           cluster_counts=(1, 2), cpu_counts=(2, 4),
+                           runner=runner)
+    for c in (1, 2):
+        assert [p.n_cpus for p in direct[c]] == [p.n_cpus for p in cached[c]]
+        for pd, pc in zip(direct[c], cached[c]):
+            assert pd.elapsed == pc.elapsed
+            assert pd.speedup == pc.speedup
+
+
+def test_speedup_curve_baseline_cached_across_calls(tmp_path):
+    """The 1x1 baseline is computed once and then served from the cache
+    when callers loop variants/figures over the same app."""
+    from repro.apps import make_app
+
+    app = make_app("tsp")
+    params = small_params("tsp")
+    cache = ResultCache(str(tmp_path / "c"))
+    r1 = ParallelRunner(jobs=1, cache=cache)
+    speedup_curve(app, "original", params, cluster_counts=(1,),
+                  cpu_counts=(2,), runner=r1)
+    n_first = r1.computed  # grid point + baseline
+    assert n_first == 2
+    r2 = ParallelRunner(jobs=1, cache=cache)
+    speedup_curve(app, "original", params, cluster_counts=(2,),
+                  cpu_counts=(2,), runner=r2)
+    # The baseline came from the cache; only the new grid point ran.
+    assert r2.computed == 1
+    assert r2.hits == 1
+
+
+def test_speedup_curve_accepts_precomputed_baseline():
+    from repro.apps import make_app
+
+    app = make_app("tsp")
+    params = small_params("tsp")
+    runner = ParallelRunner(jobs=1)
+    curves = speedup_curve(app, "original", params, cluster_counts=(1,),
+                           cpu_counts=(2,), baseline_elapsed=1.0,
+                           runner=runner)
+    assert runner.computed == 1  # no baseline run
+    pt = curves[1][0]
+    assert pt.speedup == 1.0 / pt.elapsed
+
+
+def test_speedup_curve_unregistered_app_falls_back_serial():
+    """Custom Application subclasses outside the registry still work."""
+    from repro.apps import make_app
+
+    app = make_app("tsp")
+    app.name = "my-custom-tsp"  # not in the registry
+    curves = speedup_curve(app, "original", small_params("tsp"),
+                           cluster_counts=(1,), cpu_counts=(2,))
+    assert curves[1][0].elapsed > 0
+
+
+def test_figure15_bars_single_matches_batched(tmp_path, monkeypatch):
+    """Batched (CLI) and per-app figure-15 paths agree bar for bar."""
+    import repro.harness.figures as figures
+
+    # Shrink the bar grid's problem size: the real bench_params sizes
+    # take minutes at 60 nodes, and the equality under test is about
+    # batching, not the problem size.
+    monkeypatch.setattr(figures, "bench_params",
+                        lambda name: small_params(name))
+    cache = ResultCache(str(tmp_path / "c"))
+    many = figure15_bars_many(["tsp"],
+                              runner=ParallelRunner(jobs=2, cache=cache))
+    single = figure15_bars("tsp", runner=ParallelRunner(jobs=1, cache=cache))
+    assert many["tsp"] == single
+
+
+def test_figure_curves_accepts_runner_and_cache(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    runner = ParallelRunner(jobs=2, cache=cache)
+    curves = figure_curves("fig7", cpu_counts=(4,), cluster_counts=(1,),
+                           runner=runner)
+    again = figure_curves("fig7", cpu_counts=(4,), cluster_counts=(1,),
+                          runner=ParallelRunner(jobs=1, cache=cache))
+    assert curves[1][0].elapsed == again[1][0].elapsed
+    assert curves[1][0].speedup == again[1][0].speedup
+
+
+# ------------------------------------------------------------------ CLI
+
+
+def test_cli_jobs_and_cache_flags(tmp_path, monkeypatch, capsys):
+    from repro.__main__ import main
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "clicache"))
+    assert main(["figure", "fig7", "--cpus", "4", "--jobs", "2"]) == 0
+    cold = capsys.readouterr().out
+    assert "fig7" in cold
+    assert main(["figure", "fig7", "--cpus", "4", "--jobs", "2"]) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold  # warm-cache output identical
+
+    assert main(["cache"]) == 0
+    info = capsys.readouterr().out
+    assert "clicache" in info
+    assert main(["cache", "clear"]) == 0
+    cleared = capsys.readouterr().out
+    assert "removed" in cleared
+
+
+def test_cli_no_cache_flag(tmp_path, monkeypatch, capsys):
+    from repro.__main__ import main
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "clicache"))
+    assert main(["figure", "fig7", "--cpus", "4", "--no-cache"]) == 0
+    capsys.readouterr()
+    assert main(["cache"]) == 0
+    assert "(0 results)" in capsys.readouterr().out

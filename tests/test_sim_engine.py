@@ -289,3 +289,132 @@ def test_nested_process_trees():
 
     assert sim.run_process(root()) == sum(range(10))
     assert results == [[10, 35]]
+
+
+def test_non_event_yield_recovery_by_reyield():
+    """A generator that catches the misuse error and yields a real Event
+    must keep running (the engine used to drop the throw's response)."""
+    sim = Simulator()
+
+    def recovers():
+        try:
+            yield "not an event"
+        except SimulationError:
+            yield sim.timeout(2.0)
+        return "recovered"
+
+    assert sim.run_process(recovers()) == "recovered"
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_non_event_yield_recovery_by_return():
+    """Catching the misuse error and returning completes the process."""
+    sim = Simulator()
+
+    def bails():
+        try:
+            yield object()
+        except SimulationError:
+            return "bailed"
+
+    assert sim.run_process(bails()) == "bailed"
+
+
+def test_non_event_yield_repeated_misuse_still_fails():
+    sim = Simulator()
+
+    def stubborn():
+        try:
+            yield 1
+        except SimulationError:
+            pass
+        try:
+            yield 2
+        except SimulationError:
+            raise ValueError("gave up")
+
+    with pytest.raises(ValueError, match="gave up"):
+        sim.run_process(stubborn())
+
+
+def test_non_event_yield_failure_reaches_waiting_parent():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    def parent():
+        try:
+            yield sim.spawn(bad())
+        except SimulationError as exc:
+            return f"child misused: {exc}"
+
+    out = sim.run_process(parent())
+    assert "expected an Event" in out
+
+
+def test_stats_counters():
+    sim = Simulator()
+    assert sim.stats() == {"events_processed": 0, "processes_spawned": 0}
+
+    def child():
+        yield sim.timeout(1.0)
+
+    def proc():
+        yield sim.spawn(child())
+        yield sim.timeout(1.0)
+
+    sim.run_process(proc())
+    stats = sim.stats()
+    assert stats["processes_spawned"] == 2
+    # Two bootstraps, two timeouts, and the process-completion events.
+    assert stats["events_processed"] >= 5
+
+
+def test_stats_counts_kick_resumes():
+    """Waiting on an already-processed event costs exactly one extra
+    (recycled) kick event per resume."""
+    sim = Simulator()
+    fired = sim.event()
+    fired.succeed("v")
+
+    def proc():
+        yield sim.timeout(1.0)  # lets the fired event get processed
+        before = sim.stats()["events_processed"]
+        for _ in range(3):
+            v = yield fired
+            assert v == "v"
+        return sim.stats()["events_processed"] - before
+
+    # 3 kick events, each popped once (plus nothing else in the heap).
+    assert sim.run_process(proc()) == 3
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_interrupt_while_waiting_on_processed_event():
+    """Interrupting a process parked on a recycled kick keeps both the
+    interrupt and subsequent waits working."""
+    sim = Simulator()
+    fired = sim.event()
+    fired.succeed("v")
+    log = []
+
+    def victim():
+        yield sim.timeout(1.0)
+        try:
+            while True:
+                yield fired  # spins on the kick path until interrupted
+        except Interrupt as intr:
+            log.append(intr.cause)
+        yield sim.timeout(1.0)
+        return "done"
+
+    def interrupter(p):
+        yield sim.timeout(1.0)
+        p.interrupt("stop-spinning")
+
+    p = sim.spawn(victim())
+    sim.spawn(interrupter(p))
+    sim.run()
+    assert p.value == "done"
+    assert log == ["stop-spinning"]
