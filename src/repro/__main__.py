@@ -9,11 +9,16 @@ Examples::
     python -m repro figure fig5               # one speedup figure
     python -m repro figure fig15 --jobs 4     # the 4-cluster summary, parallel
     python -m repro app water --variant optimized --clusters 4 --nodes 15
+    python -m repro profile asp --clusters 4  # name the WAN bottleneck
+    python -m repro trace ra --out ra.json    # Perfetto-loadable trace
     python -m repro cache clear               # drop the result cache
 
 Experiment commands accept ``--jobs N`` (or the ``REPRO_JOBS`` env var)
 to fan the independent simulations of a figure or table out over a
 process pool, and ``--no-cache`` to bypass the on-disk result cache.
+``docs/ARCHITECTURE.md`` has the consolidated CLI reference;
+``docs/TRACING.md`` documents the trace schema behind ``trace`` and
+``profile``.
 """
 
 from __future__ import annotations
@@ -142,6 +147,62 @@ def cmd_app(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Run apps traced and print the wide-area bottleneck breakdown."""
+    from .obs import format_bottleneck, format_profile_table, profile_app
+    from .sim import Tracer
+
+    names = PAPER_ORDER if args.app == "all" else [args.app]
+    tracer = Tracer()  # shared across apps; profile_app clears per run
+    reports = []
+    for name in names:
+        print(f"profiling {name}/{args.variant} on "
+              f"{args.clusters}x{args.nodes}...", file=sys.stderr)
+        reports.append(profile_app(
+            name, args.variant, args.clusters, args.nodes, tracer=tracer))
+    for report in reports:
+        print(format_bottleneck(report))
+        print()
+    if len(reports) > 1:
+        print(format_profile_table(reports))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one app traced and export the trace (JSONL or Chrome format)."""
+    from .apps import make_app
+    from .harness import bench_params, run_app
+    from .obs import KINDS, write_chrome, write_jsonl
+
+    kinds = None
+    if args.kinds:
+        kinds = frozenset(k.strip() for k in args.kinds.split(",") if k.strip())
+        unknown = kinds - set(KINDS)
+        if unknown:
+            print(f"repro trace: unknown kinds {sorted(unknown)}; "
+                  f"see docs/TRACING.md", file=sys.stderr)
+            return 2
+    from .sim import Tracer
+    tracer = Tracer(kinds=kinds)
+    res = run_app(make_app(args.app), args.variant, args.clusters,
+                  args.nodes, bench_params(args.app), trace=True,
+                  tracer=tracer)
+    out = args.out or (f"{args.app}-{args.variant}."
+                       + ("trace.json" if args.format == "chrome" else
+                          "trace.jsonl"))
+    with open(out, "w") as fh:
+        if args.format == "chrome":
+            n = write_chrome(tracer.records, fh)
+        else:
+            n = write_jsonl(tracer.records, fh)
+    print(f"{args.app}/{args.variant} on {args.clusters}x{args.nodes}: "
+          f"{res.elapsed:.4f} virtual seconds")
+    print(f"wrote {n} records to {out} ({args.format})")
+    if args.format == "chrome":
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def cmd_cache(args) -> int:
     """Inspect or clear the on-disk sweep result cache."""
     cache = ResultCache()
@@ -195,13 +256,38 @@ def main(argv=None) -> int:
     p_app.add_argument("--nodes", type=int, default=15)
     _add_sweep_flags(p_app)
 
+    p_prof = sub.add_parser(
+        "profile", help="trace a run and print the wide-area bottleneck "
+                        "breakdown (docs/TRACING.md)")
+    p_prof.add_argument("app", choices=PAPER_ORDER + ["all"])
+    p_prof.add_argument("--variant", default="original")
+    p_prof.add_argument("--clusters", type=int, default=4)
+    p_prof.add_argument("--nodes", type=int, default=8)
+
+    p_trace = sub.add_parser(
+        "trace", help="trace a run and export it (JSONL or Chrome "
+                      "trace_event for Perfetto)")
+    p_trace.add_argument("app", choices=PAPER_ORDER)
+    p_trace.add_argument("--variant", default="original")
+    p_trace.add_argument("--clusters", type=int, default=4)
+    p_trace.add_argument("--nodes", type=int, default=8)
+    p_trace.add_argument("--format", choices=["jsonl", "chrome"],
+                         default="chrome")
+    p_trace.add_argument("--out", default=None, metavar="PATH",
+                         help="output path (default <app>-<variant>."
+                              "trace.json[l])")
+    p_trace.add_argument("--kinds", default=None, metavar="K1,K2",
+                         help="emit-time filter: comma-separated record "
+                              "kinds to keep (default: all)")
+
     p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
     p_cache.add_argument("action", choices=["info", "clear"], nargs="?",
                          default="info")
 
     args = parser.parse_args(argv)
     return {"list": cmd_list, "table": cmd_table, "figure": cmd_figure,
-            "app": cmd_app, "cache": cmd_cache}[args.command](args)
+            "app": cmd_app, "profile": cmd_profile, "trace": cmd_trace,
+            "cache": cmd_cache}[args.command](args)
 
 
 if __name__ == "__main__":

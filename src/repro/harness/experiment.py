@@ -17,7 +17,7 @@ from ..apps import ALL_APPS
 from ..apps.base import Application, AppResult
 from ..network import DAS_PARAMS, Fabric, NetworkParams, Topology, uniform_clusters
 from ..orca import OrcaRuntime
-from ..sim import SimulationError, Simulator
+from ..sim import SimulationError, Simulator, Tracer
 
 __all__ = ["run_app", "speedup_curve", "CurvePoint", "PAPER_CPU_COUNTS"]
 
@@ -32,7 +32,8 @@ def run_app(app: Application, variant: str, n_clusters: int,
             trace: bool = False,
             utilization: bool = False,
             dedicated_sequencer_node: bool = False,
-            topology: Optional[Topology] = None) -> AppResult:
+            topology: Optional[Topology] = None,
+            tracer: Optional[Tracer] = None) -> AppResult:
     """Run ``app``/``variant`` on ``n_clusters`` x ``nodes_per_cluster``.
 
     ``dedicated_sequencer_node`` applies the paper's further broadcast
@@ -43,14 +44,20 @@ def run_app(app: Application, variant: str, n_clusters: int,
     ``topology`` overrides the uniform layout — pass (a slice of)
     :func:`repro.network.das_real` to run on the real, nonuniform DAS;
     ``n_clusters``/``nodes_per_cluster`` then only label the result.
+
+    ``trace=True`` enables structured tracing (see ``docs/TRACING.md``);
+    ``tracer`` supplies the collection buffer, letting a sweep share one
+    tracer across grid points (call ``tracer.clear()`` between points —
+    the profiler does).  Tracing never changes virtual-time results.
     """
     app.check_variant(variant)
     sim = Simulator()
     topo = topology if topology is not None \
         else uniform_clusters(n_clusters, nodes_per_cluster)
-    fabric = Fabric(sim, topo, network)
+    fabric = Fabric(sim, topo, network, tracer=tracer)
     if trace:
         fabric.tracer.enabled = True
+        sim.obs = fabric.tracer  # process-lifecycle records
     seq_kind = sequencer if sequencer is not None else app.sequencer_for(variant)
     rts = OrcaRuntime(sim, fabric, sequencer=seq_kind,
                       dedicated_sequencer_node=dedicated_sequencer_node)

@@ -115,6 +115,11 @@ class Fabric:
         msg = Message(src=src, dst=dst, size=size, payload=payload,
                       port=port, kind=kind, send_time=self.sim.now)
         local = self.topo.same_cluster(src, dst)
+        tr = self.tracer
+        if tr.enabled:
+            scope = "self" if src == dst else ("lan" if local else "wan")
+            tr.emit(self.sim.now, "msg.send", msg_id=msg.msg_id, src=src,
+                    dst=dst, size=size, msg_kind=kind, port=port, scope=scope)
         link = self.params.lan if local else self.params.access
         # Sender-side CPU overhead, paid synchronously by the caller.
         yield self.sim.spawn(self.nodes[src].cpu.execute(
@@ -192,13 +197,27 @@ class Fabric:
 
     # ------------------------------------------------------- path processes
 
-    def _occupy(self, res: Resource, seconds: float) -> Generator:
+    def _occupy(self, res: Resource, seconds: float, cls: str = "",
+                size: int = 0) -> Generator:
+        """Hold ``res`` for ``seconds``; traced as one ``link.busy`` span.
+
+        ``cls``/``size`` only label the trace record (see
+        :func:`repro.obs.schema.classify_link` for the class names);
+        with tracing disabled they cost nothing.
+        """
+        t_req = self.sim.now
         yield res.request()
+        t0 = self.sim.now
         try:
             if seconds > 0:
                 yield self.sim.timeout(seconds)
         finally:
             res.release()
+            tr = self.tracer
+            if tr.enabled:
+                now = self.sim.now
+                tr.emit(now, "link.busy", link=res.name, cls=cls, size=size,
+                        wait=t0 - t_req, t0=t0, dur=now - t0)
 
     def _deliver_self(self, msg: Message) -> Generator:
         # Loopback: negligible wire, small fixed cost.
@@ -213,7 +232,8 @@ class Fabric:
         # latency + size/bw, while endpoint contention still serializes.
         lan = self.params.lan
         tx = msg.size / lan.bandwidth
-        out_leg = self.sim.spawn(self._occupy(self._lan_out[msg.src], tx))
+        out_leg = self.sim.spawn(self._occupy(self._lan_out[msg.src], tx,
+                                              "lan_out", msg.size))
         in_leg = self.sim.spawn(self._lan_in_leg(msg, tx))
         yield self.sim.all_of([out_leg, in_leg])
         self._deposit(msg)
@@ -222,7 +242,8 @@ class Fabric:
     def _lan_in_leg(self, msg: Message, tx: float) -> Generator:
         lan = self.params.lan
         yield self.sim.timeout(lan.latency)
-        yield self.sim.spawn(self._occupy(self._lan_in[msg.dst], tx))
+        yield self.sim.spawn(self._occupy(self._lan_in[msg.dst], tx,
+                                          "lan_in", msg.size))
         yield self.sim.spawn(self.nodes[msg.dst].cpu.execute(
             lan.o_recv + msg.size * lan.per_byte_cpu))
 
@@ -231,24 +252,50 @@ class Fabric:
         """Gateway -> WAN PVC -> remote gateway (shared by all WAN paths)."""
         gwp = self.params.gateway
         wan = self.params.wan
+        tr = self.tracer
+        traced = tr.enabled
         # Local gateway store-and-forward.
-        yield self.sim.spawn(self.gateways[src_cluster].cpu.execute(
+        gw = self.gateways[src_cluster].cpu
+        t0 = self.sim.now
+        if traced:
+            qd = gw.queue_length + gw.in_use + 1
+        yield self.sim.spawn(gw.execute(
             gwp.forward_cost + msg_size * gwp.per_byte_cost))
+        if traced:
+            now = self.sim.now
+            tr.emit(now, "gw.forward", cluster=src_cluster, size=msg_size,
+                    qdepth=qd, t0=t0, dur=now - t0)
         # The PVC serializes transmissions; latency is pipeline delay.
         tx = msg_size / wan.bandwidth
-        yield self.sim.spawn(self._occupy(self._wan[(src_cluster, dst_cluster)], tx))
+        t0 = self.sim.now
+        yield self.sim.spawn(self._occupy(
+            self._wan[(src_cluster, dst_cluster)], tx, "wan", msg_size))
         self.meter.record_wan(msg_size)
         yield self.sim.timeout(wan.latency)
+        if traced:
+            now = self.sim.now
+            tr.emit(now, "wan.xfer", src_cluster=src_cluster,
+                    dst_cluster=dst_cluster, size=msg_size, tx=tx,
+                    t0=t0, dur=now - t0)
         # Remote gateway store-and-forward.
-        yield self.sim.spawn(self.gateways[dst_cluster].cpu.execute(
+        gw = self.gateways[dst_cluster].cpu
+        t0 = self.sim.now
+        if traced:
+            qd = gw.queue_length + gw.in_use + 1
+        yield self.sim.spawn(gw.execute(
             gwp.forward_cost + msg_size * gwp.per_byte_cost))
+        if traced:
+            now = self.sim.now
+            tr.emit(now, "gw.forward", cluster=dst_cluster, size=msg_size,
+                    qdepth=qd, t0=t0, dur=now - t0)
 
     def _access_leg_up(self, msg: Message) -> Generator:
         """Node -> local gateway over the shared access link."""
         access = self.params.access
         tx = msg.size / access.bandwidth
         src_cluster = self.topo.cluster_of(msg.src)
-        yield self.sim.spawn(self._occupy(self._gw_access[src_cluster], tx))
+        yield self.sim.spawn(self._occupy(self._gw_access[src_cluster], tx,
+                                          "access", msg.size))
         yield self.sim.timeout(access.latency)
 
     def _access_leg_down(self, msg: Message, dst: int) -> Generator:
@@ -256,7 +303,8 @@ class Fabric:
         access = self.params.access
         tx = msg.size / access.bandwidth
         dst_cluster = self.topo.cluster_of(dst)
-        yield self.sim.spawn(self._occupy(self._gw_access[dst_cluster], tx))
+        yield self.sim.spawn(self._occupy(self._gw_access[dst_cluster], tx,
+                                          "access", msg.size))
         yield self.sim.timeout(access.latency)
         yield self.sim.spawn(self.nodes[dst].cpu.execute(
             access.o_recv + msg.size * access.per_byte_cpu))
@@ -276,7 +324,8 @@ class Fabric:
         lan = self.params.lan
         tx = size / lan.bandwidth
         # Injection overlaps delivery (spanning-tree forwarding in the NIC).
-        legs = [self.sim.spawn(self._occupy(self._lan_out[src], tx))]
+        legs = [self.sim.spawn(self._occupy(self._lan_out[src], tx,
+                                            "lan_out", size))]
         for dst in self.topo.nodes_in(cluster):
             if dst == src and not include_self:
                 continue
@@ -289,7 +338,8 @@ class Fabric:
     def _multicast_recv(self, msg: Message, tx: float) -> Generator:
         lan = self.params.lan
         yield self.sim.timeout(lan.latency)
-        yield self.sim.spawn(self._occupy(self._lan_in[msg.dst], tx))
+        yield self.sim.spawn(self._occupy(self._lan_in[msg.dst], tx,
+                                          "lan_in", msg.size))
         yield self.sim.spawn(self.nodes[msg.dst].cpu.execute(
             lan.o_recv + msg.size * lan.per_byte_cpu))
         self._deposit(msg)
@@ -349,6 +399,10 @@ class Fabric:
 
     def _deposit(self, msg: Message) -> None:
         msg.recv_time = self.sim.now
-        self.tracer.emit(self.sim.now, "deliver", src=msg.src, dst=msg.dst,
-                         size=msg.size, msg_kind=msg.kind, port=msg.port)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, "msg.deliver", msg_id=msg.msg_id,
+                    src=msg.src, dst=msg.dst, size=msg.size,
+                    msg_kind=msg.kind, port=msg.port,
+                    latency=self.sim.now - msg.send_time)
         self.nodes[msg.dst].port(msg.port).put(msg)

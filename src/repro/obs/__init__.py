@@ -1,0 +1,62 @@
+"""Observability: structured tracing, analyzers, exporters, profiler.
+
+The ``repro.obs`` package consumes the typed trace records emitted by
+the instrumented layers (sim engine, network fabric, Orca runtime) and
+turns them into the paper's diagnostic artifacts: per-link utilization
+timelines, gateway queue-depth series, per-process WAN-wait accounting,
+and the per-application bottleneck breakdown printed by
+``repro profile``.  The record schema is versioned and documented in
+``docs/TRACING.md``; :mod:`repro.obs.schema` is its machine-readable
+source of truth.
+"""
+
+from .analyzers import (
+    BREAKDOWN_NARRATIVE,
+    LinkTimeline,
+    gateway_queue_series,
+    intercluster_breakdown,
+    link_timelines,
+    wan_wait_by_node,
+)
+from .export import chrome_trace, read_jsonl, write_chrome, write_jsonl
+from .profile import (
+    PROFILE_KINDS,
+    BottleneckReport,
+    format_bottleneck,
+    format_profile_table,
+    profile_app,
+)
+from .schema import (
+    KINDS,
+    SCHEMA_VERSION,
+    SPAN_KINDS,
+    KindSpec,
+    classify_link,
+    validate_record,
+    validate_records,
+)
+
+__all__ = [
+    "BREAKDOWN_NARRATIVE",
+    "LinkTimeline",
+    "gateway_queue_series",
+    "intercluster_breakdown",
+    "link_timelines",
+    "wan_wait_by_node",
+    "chrome_trace",
+    "read_jsonl",
+    "write_chrome",
+    "write_jsonl",
+    "PROFILE_KINDS",
+    "BottleneckReport",
+    "format_bottleneck",
+    "format_profile_table",
+    "profile_app",
+    "KINDS",
+    "SCHEMA_VERSION",
+    "SPAN_KINDS",
+    "KindSpec",
+    "classify_link",
+    "validate_record",
+    "validate_records",
+]

@@ -1,0 +1,170 @@
+"""Trace exporters: JSONL and Chrome ``trace_event`` (Perfetto) formats.
+
+Two stable on-disk formats, both stamped with the schema version:
+
+* **JSONL** (:func:`write_jsonl` / :func:`read_jsonl`) — a header line
+  ``{"schema": "repro.trace", "version": N}`` followed by one JSON
+  object per record, ``{"t": <time>, "kind": <kind>, ...fields}``.
+  Lossless; round-trips back into :class:`~repro.sim.trace.TraceRecord`.
+* **Chrome trace** (:func:`chrome_trace` / :func:`write_chrome`) — the
+  ``trace_event`` JSON object format that chrome://tracing and
+  https://ui.perfetto.dev open directly.  Span kinds become complete
+  ("X") events, instants become instant ("i") events; lanes (pid/tid)
+  group records by subsystem: network links, gateways, Orca per-node
+  operation lifecycles, the sequencer, and simulation processes.
+  Virtual seconds are exported as microseconds (the format's unit).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Tuple
+
+from ..sim.trace import TraceRecord
+from .schema import KINDS, SCHEMA_VERSION
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "chrome_trace",
+    "write_chrome",
+]
+
+JSONL_HEADER = {"schema": "repro.trace", "version": SCHEMA_VERSION}
+
+
+# ---------------------------------------------------------------- JSONL
+
+def write_jsonl(records: Iterable[TraceRecord], fh: IO[str]) -> int:
+    """Write the header line plus one JSON object per record.
+
+    Returns the number of records written.
+    """
+    fh.write(json.dumps(JSONL_HEADER) + "\n")
+    n = 0
+    for rec in records:
+        obj = {"t": rec.time, "kind": rec.kind}
+        obj.update(rec.detail)
+        fh.write(json.dumps(obj) + "\n")
+        n += 1
+    return n
+
+
+def read_jsonl(fh: IO[str]) -> List[TraceRecord]:
+    """Read a JSONL export back into records (header is checked)."""
+    header = json.loads(fh.readline())
+    if header.get("schema") != JSONL_HEADER["schema"]:
+        raise ValueError(f"not a repro trace file: header {header!r}")
+    if header.get("version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"trace schema version {header.get('version')!r} != "
+            f"supported {SCHEMA_VERSION}")
+    records = []
+    for line in fh:
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        time = obj.pop("t")
+        kind = obj.pop("kind")
+        records.append(TraceRecord(time, kind, obj))
+    return records
+
+
+# --------------------------------------------------------- Chrome trace
+
+class _Lanes:
+    """Maps (process label, thread label) -> integer pid/tid, plus the
+    ``M`` metadata events that name them in the viewer."""
+
+    def __init__(self):
+        self._pids: Dict[str, int] = {}
+        self._tids: Dict[Tuple[int, str], int] = {}
+        self.metadata: List[dict] = []
+
+    def lane(self, process: str, thread: str) -> Tuple[int, int]:
+        pid = self._pids.get(process)
+        if pid is None:
+            pid = self._pids[process] = len(self._pids) + 1
+            self.metadata.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": process}})
+        tid = self._tids.get((pid, thread))
+        if tid is None:
+            tid = self._tids[(pid, thread)] = \
+                sum(1 for key in self._tids if key[0] == pid) + 1
+            self.metadata.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": thread}})
+        return pid, tid
+
+
+def _lane_for(rec: TraceRecord) -> Tuple[str, str, str]:
+    """(process label, thread label, event name) for one record."""
+    d = rec.detail
+    kind = rec.kind
+    if kind == "link.busy":
+        return "network links", d["link"], f"busy {d['size']}B"
+    if kind == "wan.xfer":
+        return ("network links",
+                f"xfer c{d['src_cluster']}->c{d['dst_cluster']}",
+                f"wan {d['size']}B")
+    if kind == "gw.forward":
+        return "gateways", f"gw{d['cluster']}", f"fwd {d['size']}B"
+    if kind in ("msg.send", "msg.deliver"):
+        node = d["src"] if kind == "msg.send" else d["dst"]
+        return "messages", f"node{node}", f"{kind} {d['msg_kind']}"
+    if kind in ("rpc.issue", "rpc.complete"):
+        return "orca", f"node{d['caller']}", f"rpc {d['obj']}.{d['op']}"
+    if kind in ("bcast.issue", "bcast.complete"):
+        return "orca", f"node{d['sender']}", f"bcast {d['obj']}.{d['op']}"
+    if kind == "bcast.apply":
+        return "orca", f"node{d['node']}", f"apply #{d['seq']}"
+    if kind in ("seq.request", "seq.grant"):
+        return "sequencer", f"node{d['sender']}", kind
+    if kind == "seq.acquire":
+        return "sequencer", "token", f"acquire #{d['seq']}"
+    if kind == "seq.migrate":
+        return "sequencer", "token", f"migrate c{d['frm']}->c{d['to']}"
+    if kind in ("proc.spawn", "proc.finish"):
+        return "sim processes", "spawns", f"{kind} {d['name']}"
+    return "other", kind, kind
+
+
+def chrome_trace(records: Iterable[TraceRecord]) -> dict:
+    """Build the Chrome ``trace_event`` object for an iterable of records.
+
+    The result is JSON-serializable and structurally valid for Perfetto:
+    a ``traceEvents`` list of ``M``/``X``/``i`` events plus metadata
+    carrying the repro schema version.
+    """
+    lanes = _Lanes()
+    events: List[dict] = []
+    for rec in records:
+        spec = KINDS.get(rec.kind)
+        process, thread, name = _lane_for(rec)
+        pid, tid = lanes.lane(process, thread)
+        args = {k: v for k, v in rec.detail.items() if k not in ("t0", "dur")}
+        if spec is not None and spec.span:
+            events.append({
+                "name": name, "ph": "X", "cat": rec.kind,
+                "ts": rec.detail["t0"] * 1e6,
+                "dur": rec.detail["dur"] * 1e6,
+                "pid": pid, "tid": tid, "args": args})
+        else:
+            events.append({
+                "name": name, "ph": "i", "cat": rec.kind,
+                "ts": rec.time * 1e6, "s": "t",
+                "pid": pid, "tid": tid, "args": args})
+    return {
+        "traceEvents": lanes.metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": "repro.trace", "version": SCHEMA_VERSION},
+    }
+
+
+def write_chrome(records: Iterable[TraceRecord], fh: IO[str]) -> int:
+    """Serialize :func:`chrome_trace` to ``fh``; returns the event count
+    (metadata events excluded)."""
+    trace = chrome_trace(records)
+    json.dump(trace, fh)
+    return sum(1 for ev in trace["traceEvents"] if ev["ph"] != "M")

@@ -1,0 +1,256 @@
+"""The versioned trace-record schema.
+
+This module is the *single source of truth* for what the instrumented
+layers emit: every trace kind, its fields, their types and units, and
+which subsystem emits it.  ``docs/TRACING.md`` documents the same
+registry for humans, and ``tools/check_docs.py`` (run by CI) keeps the
+two in lockstep — a kind added here without a doc row, or a doc row
+without a kind here, fails the build.
+
+A trace record is a :class:`repro.sim.trace.TraceRecord`:
+
+* ``time`` — the virtual time the record was *emitted* (for span kinds
+  this is the span's **end**; the start is the ``t0`` field);
+* ``kind`` — one of the names registered in :data:`KINDS`;
+* ``detail`` — a flat dict of the fields listed in the kind's spec.
+
+Schema evolution: bump :data:`SCHEMA_VERSION` whenever a kind or field
+changes meaning, is removed, or changes units.  Adding a brand-new kind
+is backward compatible and does not need a bump.  Exporters stamp the
+version into their output so downstream consumers can refuse traces
+they do not understand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from ..sim.trace import TraceRecord
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "KindSpec",
+    "KINDS",
+    "SPAN_KINDS",
+    "validate_record",
+    "validate_records",
+    "classify_link",
+]
+
+#: Bump on any backward-incompatible change to a kind or field.
+SCHEMA_VERSION = 1
+
+#: Field type tags used by the specs below.
+_CHECKS = {
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "str": lambda v: isinstance(v, str),
+    "bool": lambda v: isinstance(v, bool),
+}
+
+
+@dataclass(frozen=True)
+class KindSpec:
+    """One trace kind: its emitter, span-ness, and field table.
+
+    ``fields`` maps field name -> (type tag, unit/meaning).  Span kinds
+    always carry ``t0`` (start, virtual seconds) and ``dur`` (length,
+    virtual seconds); their record ``time`` equals ``t0 + dur``.
+    """
+
+    name: str
+    emitter: str                       # module that emits it
+    span: bool                         # True: interval; False: instant
+    fields: Mapping[str, Tuple[str, str]]
+    doc: str                           # one-line human description
+
+
+def _spec(*head: str, **fields: Tuple[str, str]) -> KindSpec:
+    # head = (kind name, emitter, span flag, doc); fields go as keywords
+    # so a field may be called anything, including "name".
+    kind, emitter, span, doc = head
+    if span:
+        fields.setdefault("t0", ("float", "span start, virtual seconds"))
+        fields.setdefault("dur", ("float", "span length, virtual seconds"))
+    return KindSpec(name=kind, emitter=emitter, span=span, doc=doc,
+                    fields=fields)
+
+
+#: The registry: every kind any instrumented layer may emit.
+KINDS: Dict[str, KindSpec] = {spec.name: spec for spec in [
+    # ------------------------------------------------ engine (repro.sim)
+    _spec("proc.spawn", "repro.sim.engine", False,
+          "a simulation process was spawned",
+          pid=("int", "process serial number (1-based spawn order)"),
+          name=("str", "process name")),
+    _spec("proc.finish", "repro.sim.engine", False,
+          "a simulation process finished",
+          pid=("int", "process serial number"),
+          name=("str", "process name"),
+          ok=("bool", "True unless the process failed with an exception")),
+    # ------------------------------------- message lifecycle (network)
+    _spec("msg.send", "repro.network.fabric", False,
+          "a point-to-point message entered the fabric",
+          msg_id=("int", "unique message id"),
+          src=("int", "sender node id"),
+          dst=("int", "destination node id"),
+          size=("int", "payload bytes"),
+          msg_kind=("str", "traffic bucket: msg / rpc / bcast / proto"),
+          port=("str", "destination mailbox name"),
+          scope=("str", "path class: self / lan / wan")),
+    _spec("msg.deliver", "repro.network.fabric", False,
+          "a message was deposited in its destination mailbox",
+          msg_id=("int", "unique message id"),
+          src=("int", "sender node id"),
+          dst=("int", "destination node id"),
+          size=("int", "payload bytes"),
+          msg_kind=("str", "traffic bucket: msg / rpc / bcast / proto"),
+          port=("str", "destination mailbox name"),
+          latency=("float", "send-to-deliver, virtual seconds")),
+    _spec("link.busy", "repro.network.fabric", True,
+          "one serialization occupancy of a link endpoint",
+          link=("str", "resource name, e.g. lanout3 / gwaccess0 / wan(0, 1)"),
+          cls=("str", "link class: lan_out / lan_in / access / wan"),
+          size=("int", "payload bytes serialized"),
+          wait=("float", "queueing delay before occupancy, virtual seconds")),
+    _spec("gw.forward", "repro.network.fabric", True,
+          "a gateway store-and-forward CPU charge",
+          cluster=("int", "gateway's cluster id"),
+          size=("int", "payload bytes forwarded"),
+          qdepth=("int", "gateway CPU queue depth sampled at entry "
+                         "(waiters + in service, this request included)")),
+    _spec("wan.xfer", "repro.network.fabric", True,
+          "one WAN PVC transfer: queue + serialization + latency",
+          src_cluster=("int", "sending cluster id"),
+          dst_cluster=("int", "receiving cluster id"),
+          size=("int", "payload bytes"),
+          tx=("float", "pure serialization time size/bandwidth, "
+                       "virtual seconds")),
+    # ---------------------------------------- Orca op lifecycle (orca)
+    _spec("rpc.issue", "repro.orca.runtime", False,
+          "a shared-object RPC left the caller",
+          req_id=("int", "unique request id"),
+          caller=("int", "calling node id"),
+          owner=("int", "object owner node id"),
+          obj=("str", "shared object name"),
+          op=("str", "operation name"),
+          size=("int", "request payload bytes"),
+          inter=("bool", "True when caller and owner are in "
+                         "different clusters")),
+    _spec("rpc.complete", "repro.orca.runtime", True,
+          "a shared-object RPC returned to the caller (caller-blocked span)",
+          req_id=("int", "unique request id"),
+          caller=("int", "calling node id"),
+          owner=("int", "object owner node id"),
+          obj=("str", "shared object name"),
+          op=("str", "operation name"),
+          bytes=("int", "request + reply payload bytes"),
+          inter=("bool", "True when caller and owner are in "
+                         "different clusters")),
+    _spec("seq.request", "repro.orca.broadcast", True,
+          "shipping a broadcast (or its BB sequence-number request) to "
+          "the stamping node",
+          sender=("int", "issuing node id"),
+          stamp_node=("int", "stamping node id"),
+          size=("int", "bytes shipped on this leg"),
+          bb=("bool", "True in BB mode (control message only)"),
+          inter=("bool", "True when the leg crosses a cluster boundary")),
+    _spec("seq.grant", "repro.orca.broadcast", True,
+          "the BB-mode sequence number travelling back to the sender",
+          sender=("int", "issuing node id"),
+          stamp_node=("int", "stamping node id"),
+          inter=("bool", "True when the leg crosses a cluster boundary")),
+    _spec("seq.acquire", "repro.orca.sequencer", True,
+          "acquiring the next global sequence number (token/migration wait)",
+          cluster=("int", "stamping cluster id"),
+          seq=("int", "the global sequence number granted"),
+          protocol=("str", "centralized / distributed / migrating")),
+    _spec("seq.migrate", "repro.orca.sequencer", False,
+          "the migrating sequencer moved to a new cluster",
+          frm=("int", "cluster the sequencer left"),
+          to=("int", "cluster the sequencer moved to")),
+    _spec("bcast.issue", "repro.orca.broadcast", False,
+          "a totally-ordered broadcast was issued by the application",
+          sender=("int", "issuing node id"),
+          obj=("str", "shared object name"),
+          op=("str", "operation name"),
+          size=("int", "operation payload bytes"),
+          issue=("int", "sender-local issue ticket")),
+    _spec("bcast.complete", "repro.orca.broadcast", True,
+          "a broadcast completed at its sender (issue -> own-node apply)",
+          sender=("int", "issuing node id"),
+          seq=("int", "global sequence number"),
+          obj=("str", "shared object name"),
+          op=("str", "operation name"),
+          size=("int", "operation payload bytes")),
+    _spec("bcast.apply", "repro.orca.broadcast", False,
+          "a node applied one ordered broadcast to its replica",
+          node=("int", "applying node id"),
+          seq=("int", "global sequence number"),
+          sender=("int", "issuing node id")),
+]}
+
+#: Names of the span kinds (records carrying ``t0``/``dur``).
+SPAN_KINDS = frozenset(name for name, spec in KINDS.items() if spec.span)
+
+
+def validate_record(record: TraceRecord) -> List[str]:
+    """Check one record against the schema; returns a list of problems.
+
+    An empty list means the record is valid: its kind is registered,
+    every declared field is present with the declared type, and no
+    undeclared field is attached.
+    """
+    spec = KINDS.get(record.kind)
+    if spec is None:
+        return [f"unknown kind {record.kind!r}"]
+    problems: List[str] = []
+    if not isinstance(record.time, (int, float)) or isinstance(record.time, bool):
+        problems.append(f"{record.kind}: non-numeric time {record.time!r}")
+    for name, (type_tag, _unit) in spec.fields.items():
+        if name not in record.detail:
+            problems.append(f"{record.kind}: missing field {name!r}")
+            continue
+        if not _CHECKS[type_tag](record.detail[name]):
+            problems.append(
+                f"{record.kind}: field {name!r} expected {type_tag}, "
+                f"got {record.detail[name]!r}")
+    for name in record.detail:
+        if name not in spec.fields:
+            problems.append(f"{record.kind}: undeclared field {name!r}")
+    if spec.span and not problems:
+        t0 = record.detail["t0"]
+        dur = record.detail["dur"]
+        if dur < 0:
+            problems.append(f"{record.kind}: negative dur {dur!r}")
+        elif abs((t0 + dur) - record.time) > 1e-9:
+            problems.append(
+                f"{record.kind}: time {record.time!r} != t0+dur {t0 + dur!r}")
+    return problems
+
+
+def validate_records(records) -> List[str]:
+    """Validate an iterable of records; returns all problems found."""
+    problems: List[str] = []
+    for record in records:
+        problems.extend(validate_record(record))
+    return problems
+
+
+def classify_link(name: str) -> str:
+    """Map a fabric resource name to its ``link.busy`` class.
+
+    The fabric names its serialization resources ``lanout<n>``,
+    ``lanin<n>``, ``gwaccess<c>`` and ``wan(<a>, <b>)``; analyzers and
+    exporters share this mapping so nobody re-parses names ad hoc.
+    """
+    if name.startswith("lanout"):
+        return "lan_out"
+    if name.startswith("lanin"):
+        return "lan_in"
+    if name.startswith("gwaccess"):
+        return "access"
+    if name.startswith("wan"):
+        return "wan"
+    return "other"

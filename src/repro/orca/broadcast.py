@@ -131,13 +131,26 @@ class TotalOrderBroadcast:
         stamp_cluster = self.protocol.stamping_cluster(sender_cluster)
         stamp_node = self.stamping_node(stamp_cluster)
         bb_mode = size >= BB_THRESHOLD
+        tr = self.fabric.tracer
+        traced = tr.enabled
+        t_issue = self.sim.now
+        if traced:
+            tr.emit(t_issue, "bcast.issue", sender=sender, obj=obj_name,
+                    op=op_name, size=size, issue=issue)
 
         # 1. Ship the operation — or, for large payloads (BB mode), just a
         #    sequence-number request — to the stamping site.
         if stamp_node != sender:
             req_size = SEQ_REQUEST_BYTES if bb_mode else size
+            t0 = self.sim.now
             yield from self.fabric.send_and_wait(
                 sender, stamp_node, req_size, port="orca.seqreq")
+            if traced:
+                now = self.sim.now
+                tr.emit(now, "seq.request", sender=sender,
+                        stamp_node=stamp_node, size=req_size, bb=bb_mode,
+                        inter=not self.topo.same_cluster(sender, stamp_node),
+                        t0=t0, dur=now - t0)
 
         # 2. Order.  Same-sender broadcasts take their tickets in issue
         #    order; the acquire generator models token/migration delays.
@@ -152,8 +165,15 @@ class TotalOrderBroadcast:
 
         if bb_mode and stamp_node != sender:
             # The sequence number travels back; the sender disseminates.
+            t0 = self.sim.now
             yield from self.fabric.send_and_wait(
                 stamp_node, sender, SEQ_REQUEST_BYTES, port="orca.seqgrant")
+            if traced:
+                now = self.sim.now
+                tr.emit(now, "seq.grant", sender=sender,
+                        stamp_node=stamp_node,
+                        inter=not self.topo.same_cluster(sender, stamp_node),
+                        t0=t0, dur=now - t0)
         origin = sender if bb_mode else stamp_node
         origin_cluster = sender_cluster if bb_mode else stamp_cluster
 
@@ -164,6 +184,11 @@ class TotalOrderBroadcast:
 
         # 4./5. Wait until our own node applied it.
         result = yield done
+        if tr.enabled:
+            now = self.sim.now
+            tr.emit(now, "bcast.complete", sender=sender, seq=seq,
+                    obj=obj_name, op=op_name, size=size,
+                    t0=t_issue, dur=now - t_issue)
         return result
 
     # ------------------------------------------------------------ internals
@@ -196,6 +221,10 @@ class TotalOrderBroadcast:
             while st.next_expected in st.holdback:
                 current = st.holdback.pop(st.next_expected)
                 result = yield from self.apply_fn(node, current)
+                tr = self.fabric.tracer
+                if tr.enabled:
+                    tr.emit(self.sim.now, "bcast.apply", node=node,
+                            seq=current.seq, sender=current.sender)
                 st.applied.append(current.seq)
                 st.next_expected += 1
                 completion = self._completions.get(current.seq)

@@ -62,7 +62,8 @@ class OrcaRuntime:
         hop = (p.wan.latency + 2 * p.access.latency
                + 2 * p.gateway.forward_cost)
         self.protocol: SequencerProtocol = make_sequencer(
-            sequencer, sim, self.topo.n_clusters, hop)
+            sequencer, sim, self.topo.n_clusters, hop,
+            tracer=fabric.tracer)
         self.tob = TotalOrderBroadcast(
             sim, fabric, self.protocol, self._apply_bcast,
             dedicated_sequencer_node=dedicated_sequencer_node)
@@ -190,13 +191,26 @@ class OrcaRuntime:
             req_id=req_id, obj_name=spec.name, op_name=op_name, args=args,
             caller=caller, result_port=f"orca.rpcret.{req_id}",
             req_size=op.args_size(args))
+        inter = not self.topo.same_cluster(caller, spec.owner)
+        tr = self.fabric.tracer
+        traced = tr.enabled
+        t0 = self.sim.now
+        if traced:
+            tr.emit(t0, "rpc.issue", req_id=req_id, caller=caller,
+                    owner=spec.owner, obj=spec.name, op=op_name,
+                    size=req.req_size, inter=inter)
         yield from self.fabric.send(caller, spec.owner, req.req_size,
                                     payload=req, port=RPC_PORT, kind="rpc")
         msg = yield self.fabric.nodes[caller].port(req.result_port).get()
         result, result_size = msg.payload
-        self.meter.record(
-            "rpc", req.req_size + result_size,
-            intercluster=not self.topo.same_cluster(caller, spec.owner))
+        self.meter.record("rpc", req.req_size + result_size,
+                          intercluster=inter)
+        if traced:
+            now = self.sim.now
+            tr.emit(now, "rpc.complete", req_id=req_id, caller=caller,
+                    owner=spec.owner, obj=spec.name, op=op_name,
+                    bytes=req.req_size + result_size, inter=inter,
+                    t0=t0, dur=now - t0)
         return result
 
     # ------------------------------------------------------------ broadcast

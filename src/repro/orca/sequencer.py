@@ -47,16 +47,27 @@ class SequencerProtocol:
 
     name = "base"
 
-    def __init__(self, sim: Simulator, n_clusters: int, hop_latency: float):
+    def __init__(self, sim: Simulator, n_clusters: int, hop_latency: float,
+                 tracer=None):
         self.sim = sim
         self.n_clusters = n_clusters
         self.hop_latency = hop_latency
         self._next_seq = 0
+        #: optional repro.sim.Tracer; ``seq.acquire``/``seq.migrate``
+        #: records are emitted through it when enabled.
+        self.tracer = tracer
 
     def _stamp(self) -> int:
         seq = self._next_seq
         self._next_seq += 1
         return seq
+
+    def _trace_acquire(self, cluster: int, seq: int, t0: float) -> None:
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            now = self.sim.now
+            tr.emit(now, "seq.acquire", cluster=cluster, seq=seq,
+                    protocol=self.name, t0=t0, dur=now - t0)
 
     def acquire(self, cluster: int) -> Generator:
         raise NotImplementedError
@@ -73,8 +84,8 @@ class CentralizedSequencer(SequencerProtocol):
     name = "centralized"
 
     def __init__(self, sim: Simulator, n_clusters: int, hop_latency: float,
-                 home: int = 0):
-        super().__init__(sim, n_clusters, hop_latency)
+                 home: int = 0, tracer=None):
+        super().__init__(sim, n_clusters, hop_latency, tracer=tracer)
         self.home = home
 
     def stamping_cluster(self, sender_cluster: int) -> int:
@@ -85,7 +96,9 @@ class CentralizedSequencer(SequencerProtocol):
         # layer routes it there); stamping itself is immediate.
         if False:  # pragma: no cover - make this a generator
             yield None
-        return self._stamp()
+        seq = self._stamp()
+        self._trace_acquire(cluster, seq, self.sim.now)
+        return seq
 
 
 class _TokenRing:
@@ -166,17 +179,20 @@ class DistributedSequencer(SequencerProtocol):
 
     name = "distributed"
 
-    def __init__(self, sim: Simulator, n_clusters: int, hop_latency: float):
-        super().__init__(sim, n_clusters, hop_latency)
+    def __init__(self, sim: Simulator, n_clusters: int, hop_latency: float,
+                 tracer=None):
+        super().__init__(sim, n_clusters, hop_latency, tracer=tracer)
         self._ring = _TokenRing(sim, n_clusters, hop_latency, direct=False)
 
     def stamping_cluster(self, sender_cluster: int) -> int:
         return sender_cluster  # stamped by the sender's own cluster sequencer
 
     def acquire(self, cluster: int) -> Generator:
+        t0 = self.sim.now
         yield self._ring.request(cluster)
         seq = self._stamp()
         self._ring.release()
+        self._trace_acquire(cluster, seq, t0)
         return seq
 
     @property
@@ -194,8 +210,9 @@ class MigratingSequencer(SequencerProtocol):
 
     name = "migrating"
 
-    def __init__(self, sim: Simulator, n_clusters: int, hop_latency: float):
-        super().__init__(sim, n_clusters, hop_latency)
+    def __init__(self, sim: Simulator, n_clusters: int, hop_latency: float,
+                 tracer=None):
+        super().__init__(sim, n_clusters, hop_latency, tracer=tracer)
         self._ring = _TokenRing(sim, n_clusters, hop_latency, direct=True)
         self.migrations = 0
 
@@ -203,11 +220,16 @@ class MigratingSequencer(SequencerProtocol):
         return sender_cluster
 
     def acquire(self, cluster: int) -> Generator:
+        t0 = self.sim.now
         if self._ring.at != cluster:
             self.migrations += 1
+            tr = self.tracer
+            if tr is not None and tr.enabled:
+                tr.emit(t0, "seq.migrate", frm=self._ring.at, to=cluster)
         yield self._ring.request(cluster)
         seq = self._stamp()
         self._ring.release()
+        self._trace_acquire(cluster, seq, t0)
         return seq
 
     @property
@@ -216,8 +238,12 @@ class MigratingSequencer(SequencerProtocol):
 
 
 def make_sequencer(kind: str, sim: Simulator, n_clusters: int,
-                   hop_latency: float) -> SequencerProtocol:
-    """Factory: ``kind`` in {"centralized", "distributed", "migrating"}."""
+                   hop_latency: float, tracer=None) -> SequencerProtocol:
+    """Factory: ``kind`` in {"centralized", "distributed", "migrating"}.
+
+    ``tracer`` (a :class:`repro.sim.Tracer`) enables ``seq.*`` trace
+    records; the runtime passes the fabric's tracer through here.
+    """
     kinds = {
         "centralized": CentralizedSequencer,
         "distributed": DistributedSequencer,
@@ -228,4 +254,4 @@ def make_sequencer(kind: str, sim: Simulator, n_clusters: int,
     except KeyError:
         raise ValueError(f"unknown sequencer kind {kind!r}; "
                          f"choose from {sorted(kinds)}") from None
-    return cls(sim, n_clusters, hop_latency)
+    return cls(sim, n_clusters, hop_latency, tracer=tracer)

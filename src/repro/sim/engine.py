@@ -279,6 +279,10 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self._n_spawned: int = 0
+        # Optional observer (a repro.sim.Tracer) for process-lifecycle
+        # records; None keeps spawn() free of any tracing work and the
+        # dispatch loop is never touched either way.
+        self.obs = None
 
     # -- event factory helpers -------------------------------------------
     def event(self) -> Event:
@@ -312,7 +316,17 @@ class Simulator:
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start a new simulation process from a generator."""
-        return Process(self, gen, name=name)
+        proc = Process(self, gen, name=name)
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            pid = self._n_spawned
+            obs.emit(self.now, "proc.spawn", pid=pid, name=proc.name)
+            # The finish record rides on the process's own completion
+            # event, so the resume hot path carries no tracing branch.
+            proc.callbacks.append(
+                lambda ev, p=proc, i=pid: obs.emit(
+                    self.now, "proc.finish", pid=i, name=p.name, ok=p._ok))
+        return proc
 
     # -- scheduling -------------------------------------------------------
     def _post(self, event: Event, delay: float = 0.0) -> None:

@@ -1,8 +1,24 @@
-"""Event tracing for debugging and for the traffic accounting tables.
+"""Structured event tracing: the collection substrate for ``repro.obs``.
 
 A :class:`Tracer` is a cheap append-only log of ``(time, kind, detail)``
-records.  It is off by default; the experiment harness enables it when a
-table needs per-event data (e.g. Tables 4/5 intercluster traffic).
+records.  It is off by default — every instrumented call site guards on
+``tracer.enabled`` before building its record, so a disabled tracer
+costs one attribute load and a branch on the paths it observes and
+nothing anywhere else.  The record *kinds* the instrumented layers emit,
+their fields and their units are registered in :mod:`repro.obs.schema`
+and documented in ``docs/TRACING.md``.
+
+Filtering caveat — **filtering happens at emit time**: when ``kinds`` is
+set, a record whose kind is not in the set is never appended, and there
+is no way to recover it later.  Analyses that need a kind must enable it
+*before* the run (this is deliberate: post-hoc filtering would require
+keeping everything, and full traces of paper-scale runs are large).
+
+Memory caveat — a tracer grows with every record for as long as it is
+enabled.  Long sweeps that reuse one tracer across grid points must call
+:meth:`Tracer.clear` between points (the profiler in
+:mod:`repro.obs.profile` does this) so memory is bounded by one run's
+trace, not the whole sweep's.
 """
 
 from __future__ import annotations
@@ -24,7 +40,8 @@ class TraceRecord:
 class Tracer:
     enabled: bool = False
     records: List[TraceRecord] = field(default_factory=list)
-    # Optional live filter: kinds to keep (None = keep all).
+    # Emit-time filter: kinds to keep (None = keep all).  Records of
+    # other kinds are dropped as they are emitted and are unrecoverable.
     kinds: Optional[frozenset] = None
 
     def emit(self, time: float, kind: str, **detail: Any) -> None:
@@ -54,4 +71,9 @@ class Tracer:
         return (self.records[0].time, self.records[-1].time)
 
     def clear(self) -> None:
+        """Drop all collected records (``enabled``/``kinds`` unchanged).
+
+        Call between sweep grid points when one tracer is shared across
+        many runs, so memory is bounded by a single run's trace.
+        """
         self.records.clear()

@@ -1,0 +1,59 @@
+"""The docs consistency checker (tools/check_docs.py) and its guarantees."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+CHECKER = REPO / "tools" / "check_docs.py"
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location("check_docs", CHECKER)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules["check_docs"] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_repo_docs_are_consistent(check_docs, capsys):
+    assert check_docs.main() == 0
+    assert "docs ok" in capsys.readouterr().out
+
+
+def test_tracing_doc_mentions_every_kind(check_docs):
+    from repro.obs.schema import KINDS
+
+    text = (REPO / "docs" / "TRACING.md").read_text()
+    mentioned = set(check_docs._KIND.findall(text))
+    assert mentioned == set(KINDS)
+
+
+def test_checker_flags_broken_link(check_docs, tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("see [missing](no/such/file.md) and "
+                   "[ok](https://example.com)")
+    problems = check_docs.check_links(doc, doc.read_text())
+    assert problems == [f"{doc}: broken link -> no/such/file.md"]
+    assert not check_docs.check_links(
+        doc, "[external](https://example.com) [anchor](#sec)")
+
+
+def test_checker_flags_unregistered_kind(check_docs):
+    problems = check_docs.check_kinds(
+        {"docs/TRACING.md": " ".join(f"`{k}`" for k in
+                                     check_docs.KINDS),
+         "README.md": "mentions `msg.bogus_kind` here"})
+    assert problems == ["README.md: mentions unregistered trace kind "
+                        "'msg.bogus_kind' (not in repro.obs.schema.KINDS)"]
+
+
+def test_checker_flags_undocumented_kind(check_docs):
+    text = " ".join(f"`{k}`" for k in check_docs.KINDS
+                    if k != "wan.xfer")
+    problems = check_docs.check_kinds({"docs/TRACING.md": text})
+    assert problems == ["docs/TRACING.md: registered trace kind "
+                        "'wan.xfer' is undocumented"]

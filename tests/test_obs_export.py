@@ -1,0 +1,105 @@
+"""Exporters: JSONL round-trip and Chrome trace_event structural validity."""
+
+import io
+import json
+
+import pytest
+
+from repro.apps import make_app, small_params
+from repro.harness import run_app
+from repro.obs.export import (
+    JSONL_HEADER,
+    chrome_trace,
+    read_jsonl,
+    write_chrome,
+    write_jsonl,
+)
+from repro.obs.schema import KINDS, SCHEMA_VERSION, SPAN_KINDS
+from repro.sim import Tracer
+
+
+@pytest.fixture(scope="module")
+def traced_records():
+    tracer = Tracer()
+    run_app(make_app("asp"), "original", 2, 2, small_params("asp"),
+            trace=True, tracer=tracer)
+    return list(tracer.records)
+
+
+# ---------------------------------------------------------------- JSONL
+
+def test_jsonl_round_trip(traced_records):
+    buf = io.StringIO()
+    n = write_jsonl(traced_records, buf)
+    assert n == len(traced_records)
+    buf.seek(0)
+    assert read_jsonl(buf) == traced_records
+
+
+def test_jsonl_header_is_versioned():
+    buf = io.StringIO()
+    write_jsonl([], buf)
+    header = json.loads(buf.getvalue().splitlines()[0])
+    assert header == {"schema": "repro.trace", "version": SCHEMA_VERSION}
+    assert header == JSONL_HEADER
+
+
+def test_jsonl_rejects_foreign_and_stale_files():
+    with pytest.raises(ValueError, match="not a repro trace"):
+        read_jsonl(io.StringIO('{"something": "else"}\n'))
+    stale = json.dumps({"schema": "repro.trace",
+                        "version": SCHEMA_VERSION + 1})
+    with pytest.raises(ValueError, match="version"):
+        read_jsonl(io.StringIO(stale + "\n"))
+
+
+# --------------------------------------------------------- Chrome trace
+
+def test_chrome_trace_is_structurally_valid(traced_records):
+    trace = chrome_trace(traced_records)
+    # JSON-serializable and shaped as Perfetto expects.
+    json.dumps(trace)
+    assert trace["otherData"]["version"] == SCHEMA_VERSION
+    events = trace["traceEvents"]
+    assert isinstance(events, list) and events
+    phases = set()
+    for ev in events:
+        phases.add(ev["ph"])
+        assert ev["ph"] in ("M", "X", "i")
+        assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+        if ev["ph"] == "M":
+            assert ev["name"] in ("process_name", "thread_name")
+            assert ev["args"]["name"]
+        else:
+            assert isinstance(ev["ts"], float) and ev["ts"] >= 0
+            assert ev["name"] and ev["cat"] in KINDS
+        if ev["ph"] == "X":
+            assert isinstance(ev["dur"], float) and ev["dur"] >= 0
+        if ev["ph"] == "i":
+            assert ev["s"] == "t"
+    assert phases == {"M", "X", "i"}
+
+
+def test_chrome_trace_span_instant_mapping(traced_records):
+    trace = chrome_trace(traced_records)
+    data = [ev for ev in trace["traceEvents"] if ev["ph"] != "M"]
+    assert len(data) == len(traced_records)
+    for ev, rec in zip(data, traced_records):
+        assert ev["cat"] == rec.kind
+        if rec.kind in SPAN_KINDS:
+            assert ev["ph"] == "X"
+            assert ev["ts"] == pytest.approx(rec.detail["t0"] * 1e6)
+            assert ev["dur"] == pytest.approx(rec.detail["dur"] * 1e6)
+            # t0/dur live in ts/dur, not duplicated into args
+            assert "t0" not in ev["args"] and "dur" not in ev["args"]
+        else:
+            assert ev["ph"] == "i"
+            assert ev["ts"] == pytest.approx(rec.time * 1e6)
+
+
+def test_write_chrome_counts_data_events(traced_records):
+    buf = io.StringIO()
+    n = write_chrome(traced_records, buf)
+    assert n == len(traced_records)
+    obj = json.loads(buf.getvalue())
+    assert obj["displayTimeUnit"] == "ms"

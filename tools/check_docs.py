@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Documentation consistency checker (run by the CI docs job).
+
+Two classes of check over the repo's markdown:
+
+1. **Internal links** — every relative markdown link in the scanned
+   files must point at a file or directory that exists in the repo.
+2. **Trace-kind lockstep** — ``docs/TRACING.md`` and the machine
+   registry ``repro.obs.schema.KINDS`` must agree in both directions:
+   every registered kind is documented, and every kind-shaped name
+   mentioned anywhere in the scanned docs is actually registered.
+
+Usage::
+
+    python tools/check_docs.py          # exit 0 = consistent
+
+The kind-shaped pattern is ``<prefix>.<word>`` for the prefixes the
+schema uses (proc, msg, link, gw, wan, rpc, seq, bcast), so module
+paths like ``repro.sim.engine`` never false-positive.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.schema import KINDS  # noqa: E402
+
+#: Files scanned for links and kind mentions.
+DOC_FILES = ["README.md", "ROADMAP.md", "DESIGN.md", "EXPERIMENTS.md"]
+
+#: The only file that must mention *every* registered kind.
+TRACING_DOC = "docs/TRACING.md"
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_KIND_PREFIXES = sorted({name.split(".", 1)[0] for name in KINDS})
+_KIND = re.compile(
+    r"\b(?:" + "|".join(_KIND_PREFIXES) + r")\.[a-z_]+\b")
+
+
+def doc_paths() -> list:
+    paths = [ROOT / name for name in DOC_FILES]
+    paths += sorted((ROOT / "docs").glob("*.md"))
+    return [p for p in paths if p.exists()]
+
+
+def _rel(path: Path) -> str:
+    try:
+        return str(path.relative_to(ROOT))
+    except ValueError:
+        return str(path)
+
+
+def check_links(path: Path, text: str) -> list:
+    """Relative links must resolve to existing files/directories."""
+    problems = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{_rel(path)}: broken link -> {target}")
+    return problems
+
+
+def check_kinds(texts: dict) -> list:
+    """Both directions of the docs <-> schema kind lockstep."""
+    problems = []
+    mentioned_anywhere = set()
+    for rel, text in texts.items():
+        mentions = set(_KIND.findall(text))
+        mentioned_anywhere |= mentions
+        for name in sorted(mentions - set(KINDS)):
+            problems.append(
+                f"{rel}: mentions unregistered trace kind {name!r} "
+                f"(not in repro.obs.schema.KINDS)")
+    tracing = set(_KIND.findall(texts.get(TRACING_DOC, "")))
+    for name in sorted(set(KINDS) - tracing):
+        problems.append(
+            f"{TRACING_DOC}: registered trace kind {name!r} is "
+            f"undocumented")
+    return problems
+
+
+def main() -> int:
+    texts = {}
+    problems = []
+    for path in doc_paths():
+        text = path.read_text(encoding="utf-8")
+        texts[str(path.relative_to(ROOT))] = text
+        problems += check_links(path, text)
+    if TRACING_DOC not in texts:
+        problems.append(f"{TRACING_DOC}: missing")
+    problems += check_kinds(texts)
+    if problems:
+        for problem in problems:
+            print(problem)
+        print(f"\n{len(problems)} documentation problem(s)")
+        return 1
+    print(f"docs ok: {len(texts)} files, {len(KINDS)} trace kinds "
+          f"in lockstep")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
