@@ -11,20 +11,27 @@ Examples::
     python -m repro app water --variant optimized --clusters 4 --nodes 15
     python -m repro profile asp --clusters 4  # name the WAN bottleneck
     python -m repro trace ra --out ra.json    # Perfetto-loadable trace
+    python -m repro trace tsp --format folded # flame-graph input
+    python -m repro chains water --clusters 2 # per-hop message latency
+    python -m repro figure fig5 --jobs 4 --trace-dir traces \
+        --trace-ring 20000                    # traced parallel sweep
     python -m repro cache clear               # drop the result cache
 
 Experiment commands accept ``--jobs N`` (or the ``REPRO_JOBS`` env var)
 to fan the independent simulations of a figure or table out over a
 process pool, and ``--no-cache`` to bypass the on-disk result cache.
-``docs/ARCHITECTURE.md`` has the consolidated CLI reference;
-``docs/TRACING.md`` documents the trace schema behind ``trace`` and
-``profile``.
+With ``--trace-dir DIR`` every grid point also runs traced (bounded
+with ``--trace-ring N`` / ``--trace-sample kind=k,...``) and leaves one
+Perfetto file per point in DIR.  ``docs/ARCHITECTURE.md`` has the
+consolidated CLI reference; ``docs/TRACING.md`` documents the trace
+schema behind ``trace``, ``chains`` and ``profile``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import Optional, Tuple
 
 from .apps import PAPER_ORDER, make_app
 from .harness import (
@@ -46,12 +53,61 @@ from .harness import (
     table2_row,
     traffic_row,
 )
+from .sim import TraceSpec
+
+
+class _CLIError(Exception):
+    """A user-facing argument error (printed, exit code 2)."""
+
+
+def _parse_sample(text: str) -> Tuple[Tuple[str, int], ...]:
+    """Parse ``kind=k,kind2=k2`` into sampling pairs, validated."""
+    from .obs import KINDS
+
+    pairs = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kind, sep, val = part.partition("=")
+        kind = kind.strip()
+        if not sep:
+            raise _CLIError(f"bad sample entry {part!r} (want kind=k)")
+        if kind not in KINDS:
+            raise _CLIError(f"unknown kind {kind!r} in sample spec; "
+                            "see docs/TRACING.md")
+        try:
+            k = int(val)
+        except ValueError:
+            raise _CLIError(f"bad sample rate {val!r} for {kind!r} "
+                            "(want an integer >= 1)")
+        if k < 1:
+            raise _CLIError(f"sample rate for {kind!r} must be >= 1: {k}")
+        pairs.append((kind, k))
+    return tuple(pairs)
+
+
+def _trace_spec(args) -> Tuple[Optional[TraceSpec], Optional[str]]:
+    """(trace spec, trace dir) from the shared --trace-* flags."""
+    trace_dir = getattr(args, "trace_dir", None)
+    ring = getattr(args, "trace_ring", None)
+    sample = getattr(args, "trace_sample", None)
+    if not trace_dir:
+        if ring is not None or sample:
+            raise _CLIError("--trace-ring/--trace-sample require --trace-dir")
+        return None, None
+    spec = TraceSpec(ring=ring,
+                     sample=_parse_sample(sample) if sample else ())
+    return spec, trace_dir
 
 
 def _runner(args) -> ParallelRunner:
-    """Build the sweep runner from the shared --jobs/--no-cache flags."""
+    """Build the sweep runner from the shared --jobs/--no-cache and
+    --trace-* flags."""
     cache = None if getattr(args, "no_cache", False) else ResultCache()
-    return ParallelRunner(jobs=getattr(args, "jobs", None), cache=cache)
+    trace, trace_dir = _trace_spec(args)
+    return ParallelRunner(jobs=getattr(args, "jobs", None), cache=cache,
+                          trace=trace, trace_dir=trace_dir)
 
 
 def cmd_list(_args) -> int:
@@ -122,6 +178,9 @@ def cmd_figure(args) -> int:
     if runner.hits:
         print(f"({runner.hits} cached, {runner.computed} simulated)",
               file=sys.stderr)
+    if runner.trace_files:
+        print(f"(wrote {len(runner.trace_files)} Perfetto traces to "
+              f"{runner.trace_dir})", file=sys.stderr)
     return 0
 
 
@@ -153,7 +212,11 @@ def cmd_profile(args) -> int:
     from .sim import Tracer
 
     names = PAPER_ORDER if args.app == "all" else [args.app]
-    tracer = Tracer()  # shared across apps; profile_app clears per run
+    sample = dict(_parse_sample(args.sample)) if args.sample else None
+    # Shared across apps; profile_app clears it per run.  Bounds (ring /
+    # sampling) are built in here because profile_app only applies its
+    # own ring/sample arguments when it creates the tracer itself.
+    tracer = Tracer(ring=args.ring, sample=sample)
     reports = []
     for name in names:
         print(f"profiling {name}/{args.variant} on "
@@ -168,11 +231,15 @@ def cmd_profile(args) -> int:
     return 0
 
 
+_TRACE_EXT = {"chrome": "trace.json", "jsonl": "trace.jsonl",
+              "folded": "folded"}
+
+
 def cmd_trace(args) -> int:
-    """Run one app traced and export the trace (JSONL or Chrome format)."""
+    """Run one app traced and export the trace (JSONL, Chrome or folded)."""
     from .apps import make_app
     from .harness import bench_params, run_app
-    from .obs import KINDS, write_chrome, write_jsonl
+    from .obs import KINDS, write_chrome, write_folded, write_jsonl
 
     kinds = None
     if args.kinds:
@@ -183,23 +250,48 @@ def cmd_trace(args) -> int:
                   f"see docs/TRACING.md", file=sys.stderr)
             return 2
     from .sim import Tracer
-    tracer = Tracer(kinds=kinds)
+    sample = dict(_parse_sample(args.sample)) if args.sample else None
+    tracer = Tracer(kinds=kinds, ring=args.ring, sample=sample)
     res = run_app(make_app(args.app), args.variant, args.clusters,
                   args.nodes, bench_params(args.app), trace=True,
                   tracer=tracer)
-    out = args.out or (f"{args.app}-{args.variant}."
-                       + ("trace.json" if args.format == "chrome" else
-                          "trace.jsonl"))
+    out = args.out or f"{args.app}-{args.variant}.{_TRACE_EXT[args.format]}"
     with open(out, "w") as fh:
         if args.format == "chrome":
             n = write_chrome(tracer.records, fh)
+        elif args.format == "folded":
+            n = write_folded(tracer.records, fh)
         else:
             n = write_jsonl(tracer.records, fh)
     print(f"{args.app}/{args.variant} on {args.clusters}x{args.nodes}: "
           f"{res.elapsed:.4f} virtual seconds")
-    print(f"wrote {n} records to {out} ({args.format})")
+    unit = "stacks" if args.format == "folded" else "records"
+    print(f"wrote {n} {unit} to {out} ({args.format})")
+    if tracer.dropped:
+        print(f"({tracer.dropped} records dropped by ring/sampling bounds; "
+              f"{len(tracer.records)} kept)")
     if args.format == "chrome":
         print("open in https://ui.perfetto.dev or chrome://tracing")
+    elif args.format == "folded":
+        print("feed to flamegraph.pl or https://speedscope.app")
+    return 0
+
+
+def cmd_chains(args) -> int:
+    """Reconstruct causal message chains with per-hop latency attribution."""
+    from .apps import make_app
+    from .harness import bench_params, run_app
+    from .obs import CHAIN_KINDS, build_chains, format_chains
+    from .sim import Tracer
+
+    tracer = Tracer(kinds=CHAIN_KINDS)
+    res = run_app(make_app(args.app), args.variant, args.clusters,
+                  args.nodes, bench_params(args.app),
+                  sequencer=args.sequencer, trace=True, tracer=tracer)
+    chains, counts = build_chains(tracer.records)
+    print(f"{args.app}/{args.variant} on {args.clusters}x{args.nodes}: "
+          f"{res.elapsed:.4f} virtual seconds")
+    print(format_chains(chains, counts, limit=args.limit))
     return 0
 
 
@@ -225,6 +317,25 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
                              "(default: $REPRO_JOBS or 1)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="trace every grid point and write one "
+                             "Perfetto file per point into DIR (traced "
+                             "points bypass the result cache)")
+    parser.add_argument("--trace-ring", type=int, default=None, metavar="N",
+                        help="with --trace-dir: keep only the last N "
+                             "records per run (ring buffer)")
+    parser.add_argument("--trace-sample", default=None, metavar="K1=k,...",
+                        help="with --trace-dir: keep 1 in k records of "
+                             "each listed kind (deterministic)")
+
+
+def _add_bound_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ring", type=int, default=None, metavar="N",
+                        help="keep only the last N trace records "
+                             "(ring buffer)")
+    parser.add_argument("--sample", default=None, metavar="K1=k,...",
+                        help="keep 1 in k records of each listed kind "
+                             "(deterministic; e.g. msg.send=8)")
 
 
 def main(argv=None) -> int:
@@ -263,31 +374,54 @@ def main(argv=None) -> int:
     p_prof.add_argument("--variant", default="original")
     p_prof.add_argument("--clusters", type=int, default=4)
     p_prof.add_argument("--nodes", type=int, default=8)
+    _add_bound_flags(p_prof)
 
     p_trace = sub.add_parser(
-        "trace", help="trace a run and export it (JSONL or Chrome "
-                      "trace_event for Perfetto)")
+        "trace", help="trace a run and export it (JSONL, Chrome "
+                      "trace_event for Perfetto, or folded stacks for "
+                      "flame-graph tools)")
     p_trace.add_argument("app", choices=PAPER_ORDER)
     p_trace.add_argument("--variant", default="original")
     p_trace.add_argument("--clusters", type=int, default=4)
     p_trace.add_argument("--nodes", type=int, default=8)
-    p_trace.add_argument("--format", choices=["jsonl", "chrome"],
+    p_trace.add_argument("--format", choices=["jsonl", "chrome", "folded"],
                          default="chrome")
     p_trace.add_argument("--out", default=None, metavar="PATH",
                          help="output path (default <app>-<variant>."
-                              "trace.json[l])")
+                              "trace.json[l] / .folded)")
     p_trace.add_argument("--kinds", default=None, metavar="K1,K2",
                          help="emit-time filter: comma-separated record "
                               "kinds to keep (default: all)")
+    _add_bound_flags(p_trace)
+
+    p_chains = sub.add_parser(
+        "chains", help="reconstruct causal message chains with per-hop "
+                       "latency attribution (docs/TRACING.md)")
+    p_chains.add_argument("app", choices=PAPER_ORDER)
+    p_chains.add_argument("--variant", default="original")
+    p_chains.add_argument("--clusters", type=int, default=4)
+    p_chains.add_argument("--nodes", type=int, default=8)
+    p_chains.add_argument("--sequencer", default=None,
+                          choices=["centralized", "distributed", "migrating"],
+                          help="override the variant's sequencer protocol "
+                               "(centralized makes broadcast-only apps "
+                               "ship intercluster sequencer requests)")
+    p_chains.add_argument("--limit", type=int, default=5, metavar="N",
+                          help="slowest intercluster chains to print")
 
     p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
     p_cache.add_argument("action", choices=["info", "clear"], nargs="?",
                          default="info")
 
     args = parser.parse_args(argv)
-    return {"list": cmd_list, "table": cmd_table, "figure": cmd_figure,
-            "app": cmd_app, "profile": cmd_profile, "trace": cmd_trace,
-            "cache": cmd_cache}[args.command](args)
+    commands = {"list": cmd_list, "table": cmd_table, "figure": cmd_figure,
+                "app": cmd_app, "profile": cmd_profile, "trace": cmd_trace,
+                "chains": cmd_chains, "cache": cmd_cache}
+    try:
+        return commands[args.command](args)
+    except _CLIError as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

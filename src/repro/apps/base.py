@@ -50,6 +50,8 @@ class AppResult:
     stats: Dict[str, Any] = field(default_factory=dict)
     traffic: Dict[str, Dict[str, int]] = field(default_factory=dict)
     utilization: Any = None        # UtilizationReport when requested
+    trace_records: Any = None      # List[TraceRecord] when the run was
+                                   # traced through the sweep harness
 
     @property
     def n_nodes(self) -> int:

@@ -51,6 +51,12 @@ def run_app(app: Application, variant: str, n_clusters: int,
     the profiler does).  Tracing never changes virtual-time results.
     """
     app.check_variant(variant)
+    # Run-local ids: traces (which join on message/request ids) come out
+    # identical no matter how many runs preceded this one in the process.
+    from ..network.message import reset_ids
+    from ..orca.runtime import reset_req_ids
+    reset_ids()
+    reset_req_ids()
     sim = Simulator()
     topo = topology if topology is not None \
         else uniform_clusters(n_clusters, nodes_per_cluster)

@@ -24,9 +24,11 @@ Properties the rest of the harness relies on:
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import os
 import pickle
+import sys
 import tempfile
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
@@ -34,6 +36,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from ..apps import ALL_APPS, make_app
 from ..apps.base import AppResult
 from ..network import DAS_PARAMS, NetworkParams
+from ..sim.trace import TraceSpec
 
 __all__ = [
     "RunSpec",
@@ -55,13 +58,21 @@ CACHE_SCHEMA = "1"
 
 
 def default_jobs() -> int:
-    """Worker count from ``REPRO_JOBS`` (default 1 — fully serial)."""
+    """Worker count from ``REPRO_JOBS`` (default 1 — fully serial).
+
+    Values below 1 clamp to 1.  An unparsable value also falls back to
+    1, but *loudly* — a typo in ``REPRO_JOBS`` silently serializing a
+    sweep the user meant to parallelize is a debugging trap.
+    """
     raw = os.environ.get(JOBS_ENV, "").strip()
     if not raw:
         return 1
     try:
         return max(1, int(raw))
     except ValueError:
+        print(f"repro: warning: ignoring unparsable {JOBS_ENV}={raw!r} "
+              "(want an integer); running serially with 1 job",
+              file=sys.stderr)
         return 1
 
 
@@ -90,6 +101,11 @@ class RunSpec:
     network: NetworkParams = DAS_PARAMS
     sequencer: Optional[str] = None
     dedicated_sequencer_node: bool = False
+    #: When set, the run is traced with a tracer built from this spec
+    #: (frozen and picklable, so it ships to pool workers) and the
+    #: records come back on ``AppResult.trace_records``.  Tracing never
+    #: changes the simulation — results stay bit-identical.
+    trace: Optional[TraceSpec] = None
 
     def __post_init__(self):
         if self.app not in ALL_APPS:
@@ -102,6 +118,10 @@ class RunSpec:
         The hash is over the ``repr`` of the frozen dataclasses, which
         spells out every field by name — any parameter change, including
         a nested network/link parameter, invalidates the cache entry.
+        The trace spec is deliberately excluded: tracing cannot change
+        results, so a traced and an untraced run share one identity
+        (the runner skips the cache for traced specs instead — a cached
+        result carries no records).
         """
         text = repr((CACHE_SCHEMA, self.app, self.variant, self.n_clusters,
                      self.nodes_per_cluster, self.params, self.network,
@@ -112,10 +132,15 @@ class RunSpec:
         """Rebuild the stack and run this grid point (in this process)."""
         from .experiment import run_app
 
-        return run_app(make_app(self.app), self.variant, self.n_clusters,
-                       self.nodes_per_cluster, self.params,
-                       network=self.network, sequencer=self.sequencer,
-                       dedicated_sequencer_node=self.dedicated_sequencer_node)
+        tracer = self.trace.build() if self.trace is not None else None
+        result = run_app(make_app(self.app), self.variant, self.n_clusters,
+                         self.nodes_per_cluster, self.params,
+                         network=self.network, sequencer=self.sequencer,
+                         dedicated_sequencer_node=self.dedicated_sequencer_node,
+                         trace=tracer is not None, tracer=tracer)
+        if tracer is not None:
+            result.trace_records = list(tracer.records)
+        return result
 
 
 def _execute_spec(spec: RunSpec) -> AppResult:
@@ -181,12 +206,29 @@ class ParallelRunner:
     ``jobs`` defaults to ``REPRO_JOBS`` (or 1).  ``jobs=1`` runs serially
     in-process — no pool, no pickling.  Results always come back in spec
     order, and duplicate specs within a batch are computed only once.
+
+    ``trace`` applies a :class:`~repro.sim.trace.TraceSpec` to every
+    spec in a batch that does not already carry one, so whole figures
+    can run traced (typically bounded — a ring buffer and/or sampling —
+    so parallel sweeps stay cheap).  Traced specs bypass the result
+    cache in both directions: a cached result has no records to give,
+    and a traced result is not written back (the cache stores slim
+    results only).  With ``trace_dir``, each traced grid point's records
+    are exported as a Perfetto file named
+    ``{app}-{variant}-{C}x{N}-{key8}.trace.json`` (and then dropped from
+    the in-memory result, so a big sweep never holds every trace at
+    once); the paths accumulate on ``trace_files``.
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[ResultCache] = None,
+                 trace: Optional[TraceSpec] = None,
+                 trace_dir: Optional[str] = None):
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.cache = cache
+        self.trace = trace
+        self.trace_dir = trace_dir
+        self.trace_files: List[str] = []
         self.hits = 0      # cache hits over this runner's lifetime
         self.computed = 0  # specs actually simulated
 
@@ -194,34 +236,58 @@ class ParallelRunner:
         return self.run([spec])[0]
 
     def run(self, specs: Sequence[RunSpec]) -> List[AppResult]:
+        if self.trace is not None:
+            specs = [dataclasses.replace(spec, trace=self.trace)
+                     if spec.trace is None else spec for spec in specs]
         results: List[Optional[AppResult]] = [None] * len(specs)
         # Group uncached work by content key so duplicates run once.
-        todo: Dict[str, List[int]] = {}
-        keyed: Dict[str, RunSpec] = {}
+        # The trace spec rides along in the dedup key: a traced and an
+        # untraced spec share a cache identity but not an execution.
+        todo: Dict[Any, List[int]] = {}
+        keyed: Dict[Any, RunSpec] = {}
         for i, spec in enumerate(specs):
             key = spec.key()
-            if self.cache is not None:
+            if self.cache is not None and spec.trace is None:
                 hit = self.cache.get(key)
                 if hit is not None:
                     results[i] = hit
                     self.hits += 1
                     continue
-            todo.setdefault(key, []).append(i)
-            keyed[key] = spec
+            dkey = (key, spec.trace)
+            todo.setdefault(dkey, []).append(i)
+            keyed[dkey] = spec
         if todo:
-            keys = list(todo)
-            work = [keyed[k] for k in keys]
+            dkeys = list(todo)
+            work = [keyed[k] for k in dkeys]
             if self.jobs > 1 and len(work) > 1:
                 computed = self._run_pool(work)
             else:
                 computed = [spec.execute() for spec in work]
             self.computed += len(work)
-            for key, result in zip(keys, computed):
-                if self.cache is not None:
-                    self.cache.put(key, result)
-                for i in todo[key]:
+            for dkey, result in zip(dkeys, computed):
+                spec = keyed[dkey]
+                if self.cache is not None and spec.trace is None:
+                    self.cache.put(dkey[0], result)
+                if (spec.trace is not None and self.trace_dir
+                        and getattr(result, "trace_records", None) is not None):
+                    self._write_trace(spec, dkey[0], result)
+                for i in todo[dkey]:
                     results[i] = result
         return results  # type: ignore[return-value]
+
+    def _write_trace(self, spec: RunSpec, key: str,
+                     result: AppResult) -> str:
+        from ..obs.export import write_chrome
+
+        os.makedirs(self.trace_dir, exist_ok=True)
+        name = (f"{spec.app}-{spec.variant}-{spec.n_clusters}x"
+                f"{spec.nodes_per_cluster}-{key[:8]}.trace.json")
+        path = os.path.join(self.trace_dir, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            write_chrome(result.trace_records, fh)
+        result.trace_records = None  # exported; free the batch's memory
+        self.trace_files.append(path)
+        return path
 
     def _run_pool(self, work: List[RunSpec]) -> List[AppResult]:
         import multiprocessing as mp

@@ -198,12 +198,14 @@ class Fabric:
     # ------------------------------------------------------- path processes
 
     def _occupy(self, res: Resource, seconds: float, cls: str = "",
-                size: int = 0) -> Generator:
+                size: int = 0, msg_id: int = -1) -> Generator:
         """Hold ``res`` for ``seconds``; traced as one ``link.busy`` span.
 
-        ``cls``/``size`` only label the trace record (see
-        :func:`repro.obs.schema.classify_link` for the class names);
-        with tracing disabled they cost nothing.
+        ``cls``/``size``/``msg_id`` only label the trace record (see
+        :func:`repro.obs.schema.classify_link` for the class names;
+        ``msg_id`` joins the span into the causal chains of
+        :mod:`repro.obs.chains`, -1 when the occupancy is shared between
+        several deliveries); with tracing disabled they cost nothing.
         """
         t_req = self.sim.now
         yield res.request()
@@ -217,7 +219,7 @@ class Fabric:
             if tr.enabled:
                 now = self.sim.now
                 tr.emit(now, "link.busy", link=res.name, cls=cls, size=size,
-                        wait=t0 - t_req, t0=t0, dur=now - t0)
+                        wait=t0 - t_req, msg_id=msg_id, t0=t0, dur=now - t0)
 
     def _deliver_self(self, msg: Message) -> Generator:
         # Loopback: negligible wire, small fixed cost.
@@ -233,7 +235,8 @@ class Fabric:
         lan = self.params.lan
         tx = msg.size / lan.bandwidth
         out_leg = self.sim.spawn(self._occupy(self._lan_out[msg.src], tx,
-                                              "lan_out", msg.size))
+                                              "lan_out", msg.size,
+                                              msg.msg_id))
         in_leg = self.sim.spawn(self._lan_in_leg(msg, tx))
         yield self.sim.all_of([out_leg, in_leg])
         self._deposit(msg)
@@ -243,13 +246,18 @@ class Fabric:
         lan = self.params.lan
         yield self.sim.timeout(lan.latency)
         yield self.sim.spawn(self._occupy(self._lan_in[msg.dst], tx,
-                                          "lan_in", msg.size))
+                                          "lan_in", msg.size, msg.msg_id))
         yield self.sim.spawn(self.nodes[msg.dst].cpu.execute(
             lan.o_recv + msg.size * lan.per_byte_cpu))
 
-    def _wan_leg(self, msg_size: int, src_cluster: int, dst_cluster: int
-                 ) -> Generator:
-        """Gateway -> WAN PVC -> remote gateway (shared by all WAN paths)."""
+    def _wan_leg(self, msg_size: int, src_cluster: int, dst_cluster: int,
+                 msg_id: int = -1) -> Generator:
+        """Gateway -> WAN PVC -> remote gateway (shared by all WAN paths).
+
+        ``msg_id`` labels the trace records with the point-to-point
+        message this leg serves; fan-out paths that share one leg among
+        many deliveries pass -1.
+        """
         gwp = self.params.gateway
         wan = self.params.wan
         tr = self.tracer
@@ -264,19 +272,20 @@ class Fabric:
         if traced:
             now = self.sim.now
             tr.emit(now, "gw.forward", cluster=src_cluster, size=msg_size,
-                    qdepth=qd, t0=t0, dur=now - t0)
+                    qdepth=qd, msg_id=msg_id, t0=t0, dur=now - t0)
         # The PVC serializes transmissions; latency is pipeline delay.
         tx = msg_size / wan.bandwidth
         t0 = self.sim.now
         yield self.sim.spawn(self._occupy(
-            self._wan[(src_cluster, dst_cluster)], tx, "wan", msg_size))
+            self._wan[(src_cluster, dst_cluster)], tx, "wan", msg_size,
+            msg_id))
         self.meter.record_wan(msg_size)
         yield self.sim.timeout(wan.latency)
         if traced:
             now = self.sim.now
             tr.emit(now, "wan.xfer", src_cluster=src_cluster,
                     dst_cluster=dst_cluster, size=msg_size, tx=tx,
-                    t0=t0, dur=now - t0)
+                    msg_id=msg_id, t0=t0, dur=now - t0)
         # Remote gateway store-and-forward.
         gw = self.gateways[dst_cluster].cpu
         t0 = self.sim.now
@@ -287,15 +296,15 @@ class Fabric:
         if traced:
             now = self.sim.now
             tr.emit(now, "gw.forward", cluster=dst_cluster, size=msg_size,
-                    qdepth=qd, t0=t0, dur=now - t0)
+                    qdepth=qd, msg_id=msg_id, t0=t0, dur=now - t0)
 
-    def _access_leg_up(self, msg: Message) -> Generator:
+    def _access_leg_up(self, msg: Message, msg_id: int = -1) -> Generator:
         """Node -> local gateway over the shared access link."""
         access = self.params.access
         tx = msg.size / access.bandwidth
         src_cluster = self.topo.cluster_of(msg.src)
         yield self.sim.spawn(self._occupy(self._gw_access[src_cluster], tx,
-                                          "access", msg.size))
+                                          "access", msg.size, msg_id))
         yield self.sim.timeout(access.latency)
 
     def _access_leg_down(self, msg: Message, dst: int) -> Generator:
@@ -304,7 +313,7 @@ class Fabric:
         tx = msg.size / access.bandwidth
         dst_cluster = self.topo.cluster_of(dst)
         yield self.sim.spawn(self._occupy(self._gw_access[dst_cluster], tx,
-                                          "access", msg.size))
+                                          "access", msg.size, msg.msg_id))
         yield self.sim.timeout(access.latency)
         yield self.sim.spawn(self.nodes[dst].cpu.execute(
             access.o_recv + msg.size * access.per_byte_cpu))
@@ -312,8 +321,9 @@ class Fabric:
     def _deliver_wan(self, msg: Message) -> Generator:
         src_cluster = self.topo.cluster_of(msg.src)
         dst_cluster = self.topo.cluster_of(msg.dst)
-        yield self.sim.spawn(self._access_leg_up(msg))
-        yield self.sim.spawn(self._wan_leg(msg.size, src_cluster, dst_cluster))
+        yield self.sim.spawn(self._access_leg_up(msg, msg.msg_id))
+        yield self.sim.spawn(self._wan_leg(msg.size, src_cluster, dst_cluster,
+                                           msg.msg_id))
         yield self.sim.spawn(self._access_leg_down(msg, msg.dst))
         self._deposit(msg)
         return msg
@@ -339,7 +349,7 @@ class Fabric:
         lan = self.params.lan
         yield self.sim.timeout(lan.latency)
         yield self.sim.spawn(self._occupy(self._lan_in[msg.dst], tx,
-                                          "lan_in", msg.size))
+                                          "lan_in", msg.size, msg.msg_id))
         yield self.sim.spawn(self.nodes[msg.dst].cpu.execute(
             lan.o_recv + msg.size * lan.per_byte_cpu))
         self._deposit(msg)

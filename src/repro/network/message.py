@@ -6,9 +6,22 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-__all__ = ["Message"]
+__all__ = ["Message", "reset_ids"]
 
 _ids = itertools.count()
+
+
+def reset_ids() -> None:
+    """Restart message-id allocation from 0.
+
+    Called by the experiment runner at the start of every run so trace
+    records carry run-local ids: a traced run produces the same records
+    no matter how many runs preceded it in the process (or which pool
+    worker it landed on).  Ids only label trace records and join causal
+    chains within one run — nothing matches them across runs.
+    """
+    global _ids
+    _ids = itertools.count()
 
 
 @dataclass

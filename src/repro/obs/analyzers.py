@@ -23,7 +23,7 @@ re-read from a JSONL export.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..sim.trace import TraceRecord
 
@@ -31,6 +31,7 @@ __all__ = [
     "LinkTimeline",
     "link_timelines",
     "gateway_queue_series",
+    "gateway_littles_law",
     "wan_wait_by_node",
     "intercluster_breakdown",
     "BREAKDOWN_NARRATIVE",
@@ -71,16 +72,24 @@ class LinkTimeline:
         return {cls: [v / counts[cls] for v in series]
                 for cls, series in sums.items()}
 
-    def busiest(self, cls: str = "wan") -> Tuple[str, float]:
-        """(link name, overall busy fraction) of the busiest link in class."""
-        best, best_util = "", 0.0
-        for name, series in self.links.items():
+    def busiest(self, cls: str = "wan") -> Optional[Tuple[str, float]]:
+        """(link name, overall busy fraction) of the busiest link in class.
+
+        Ties break lexicographically (the first name in sorted order
+        wins), so the answer is deterministic and independent of dict
+        insertion order.  Returns ``None`` when no link of ``cls`` saw
+        traffic — callers must not mistake "no such link" for a real
+        link at zero utilization.
+        """
+        best: Optional[Tuple[str, float]] = None
+        for name in sorted(self.links):
             if self.cls_of[name] != cls:
                 continue
+            series = self.links[name]
             util = sum(series) / len(series) if series else 0.0
-            if util >= best_util:
-                best, best_util = name, util
-        return best, best_util
+            if best is None or util > best[1]:
+                best = (name, util)
+        return best
 
 
 def link_timelines(records: Iterable[TraceRecord], elapsed: float,
@@ -137,6 +146,55 @@ def gateway_queue_series(records: Iterable[TraceRecord]
     for samples in series.values():
         samples.sort()
     return series
+
+
+def gateway_littles_law(records: Iterable[TraceRecord]
+                        ) -> Dict[int, Dict[str, float]]:
+    """Check each gateway's queue series against Little's law.
+
+    For an observation window, Little's law says the time-average
+    number in system equals arrival rate x mean sojourn time,
+    ``L = lambda * W``.  The trace gives both sides independently:
+
+    * the sampled side — ``qdepth`` at each forward's request instant,
+      which *includes* the arriving message itself, so the comparable
+      average is ``mean(qdepth) - 1`` (arrivals-see-time-averages is
+      exact for Poisson arrivals, an approximation here);
+    * the predicted side — ``lambda * W = (n / window) * (sum(dur) / n)
+      = sum(dur) / window`` over the same forwards, where each span's
+      ``dur`` is the message's full sojourn (queueing + service).
+
+    Returns per-cluster ``{samples, window, mean_depth, arrival_rate,
+    mean_sojourn, predicted_depth, ratio}`` where ``ratio`` is
+    ``(mean_depth - 1) / predicted_depth`` — near 1 when the emitted
+    queue-depth samples are consistent with the span durations.
+    Clusters whose window is degenerate (a single instant) are omitted;
+    so are clusters that forwarded nothing.
+    """
+    by_cluster: Dict[int, List[TraceRecord]] = {}
+    for rec in records:
+        if rec.kind == "gw.forward":
+            by_cluster.setdefault(rec.detail["cluster"], []).append(rec)
+    out: Dict[int, Dict[str, float]] = {}
+    for cluster, recs in sorted(by_cluster.items()):
+        window = max(r.time for r in recs) - min(r.detail["t0"] for r in recs)
+        if window <= 0:
+            continue
+        n = len(recs)
+        mean_depth = sum(r.detail["qdepth"] for r in recs) / n
+        total_sojourn = sum(r.detail["dur"] for r in recs)
+        predicted = total_sojourn / window
+        out[cluster] = {
+            "samples": float(n),
+            "window": window,
+            "mean_depth": mean_depth,
+            "arrival_rate": n / window,
+            "mean_sojourn": total_sojourn / n,
+            "predicted_depth": predicted,
+            "ratio": ((mean_depth - 1.0) / predicted if predicted > 0
+                      else float("inf")),
+        }
+    return out
 
 
 # ----------------------------------------------------- per-node waiting

@@ -1,0 +1,284 @@
+"""Causal message chains: end-to-end multi-hop message journeys.
+
+The paper's wide-area diagnoses are causal stories — a broadcast stalls
+because its sequencer round-trip crossed the WAN, which queued behind a
+gateway forward.  The raw trace reports each mechanism in isolation;
+this module joins them back into *chains*: every point-to-point message
+with both a ``msg.send`` and a ``msg.deliver`` record (joined on
+``msg_id``) is stitched together with the ``link.busy`` / ``gw.forward``
+/ ``wan.xfer`` spans that served it, yielding the full path
+
+    LAN leg -> access link -> gateway -> WAN PVC -> gateway -> access
+    link -> LAN leg
+
+with per-hop latency attribution.  MPWide-style per-link monitoring
+becomes actionable exactly here: a slow link matters when it sits on a
+message's critical path, and the chain names which hop ate the latency.
+
+Attribution invariant — the hops *telescope*: hop ``i`` covers the
+interval from the previous hop's end (or the send instant) to its own
+span's end, and a final delivery hop covers the remainder up to the
+deliver instant.  The hop durations therefore partition the send->
+deliver interval exactly::
+
+    sum(h.elapsed for h in chain.hops) == chain.latency
+
+(to float addition, i.e. within 1e-9).  Each hop's ``elapsed`` thus
+includes the queueing and propagation that *preceded* its span — the
+wait is charged to the hop that resolved it, which is the paper's
+"where did the time go" question.
+
+Records whose spans are shared between several deliveries (multicast
+fan-out legs, ``msg_id == -1``) and deliveries without a matching send
+(per-receiver multicast copies) do not form chains; :func:`build_chains`
+counts them so nothing is silently dropped.
+
+The Perfetto exporter (:func:`repro.obs.export.chrome_trace`) emits one
+flow event per chain hop, rendering the chains as connected arrows
+across lanes; ``repro chains`` prints them as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..sim.trace import TraceRecord
+
+__all__ = [
+    "CHAIN_KINDS",
+    "MessageHop",
+    "MessageChain",
+    "build_chains",
+    "chain_stats",
+    "hop_attribution",
+    "format_chain",
+    "format_chains",
+]
+
+#: The kinds chain reconstruction consumes (a valid emit-time filter for
+#: runs that only need chains).
+CHAIN_KINDS = frozenset({
+    "msg.send", "msg.deliver", "link.busy", "gw.forward", "wan.xfer",
+})
+
+#: Span kinds that may carry a joining ``msg_id``.
+_HOP_KINDS = ("link.busy", "gw.forward", "wan.xfer")
+
+
+@dataclass(frozen=True)
+class MessageHop:
+    """One telescoped hop of a message chain.
+
+    ``elapsed`` is the telescoped duration (previous hop's end to this
+    hop's end) — these sum to the chain latency.  ``span_dur`` is the
+    underlying span's own occupancy length and ``wait`` its recorded
+    queueing delay where the schema provides one (``link.busy``);
+    both can be shorter than ``elapsed`` because the telescoped
+    interval also absorbs propagation and CPU time between spans.
+    """
+
+    cls: str          # lan_out / lan_in / access / gateway / wan /
+                      # wan_latency / delivery / local
+    label: str        # human label, e.g. "access:gwaccess0", "gateway:gw1"
+    start: float      # previous hop's end (or the send instant)
+    end: float        # this hop's span end (or the deliver instant)
+    elapsed: float    # end - start  (telescoped attribution)
+    span_dur: float   # the underlying span's own length (0 for delivery)
+    wait: float       # recorded queueing delay, where the span has one
+
+
+@dataclass
+class MessageChain:
+    """One point-to-point message reconstructed into its hop path."""
+
+    msg_id: int
+    src: int
+    dst: int
+    size: int
+    msg_kind: str
+    port: str
+    scope: str                 # self / lan / wan (from msg.send)
+    send_time: float
+    deliver_time: float
+    hops: List[MessageHop] = field(default_factory=list)
+
+    @property
+    def latency(self) -> float:
+        return self.deliver_time - self.send_time
+
+    @property
+    def attributed(self) -> float:
+        """Sum of hop durations; equals :attr:`latency` by construction."""
+        return sum(h.elapsed for h in self.hops)
+
+    @property
+    def intercluster(self) -> bool:
+        return self.scope == "wan"
+
+
+def _hop_identity(rec: TraceRecord) -> Tuple[str, str]:
+    """(hop class, human label) for one joinable span record."""
+    d = rec.detail
+    if rec.kind == "link.busy":
+        return d["cls"], f"{d['cls']}:{d['link']}"
+    if rec.kind == "gw.forward":
+        return "gateway", f"gateway:gw{d['cluster']}"
+    # wan.xfer ends after the PVC's own link.busy span (it also covers
+    # the propagation latency), so in a chain it shows up as the
+    # propagation remainder of the WAN hop.
+    return "wan_latency", f"wan_latency:c{d['src_cluster']}->c{d['dst_cluster']}"
+
+
+def build_chains(records: Iterable[TraceRecord],
+                 ) -> Tuple[List[MessageChain], Dict[str, int]]:
+    """Join sends, delivers and path spans into chains.
+
+    Returns ``(chains, counts)`` where ``chains`` is sorted by send
+    time and ``counts`` reports what could not be joined so partial
+    traces are never silently misread:
+
+    * ``chains``            — complete send->deliver joins;
+    * ``unmatched_send``    — sends whose delivery never happened or was
+      filtered/sampled/evicted out of the trace;
+    * ``unmatched_deliver`` — deliveries without a send record
+      (multicast copies, or the send was dropped by bounding);
+    * ``shared_spans``      — path spans with ``msg_id == -1`` (legs
+      shared between deliveries, e.g. broadcast fan-out);
+    * ``orphan_spans``      — attributed spans whose message never
+      completed a send/deliver pair.
+    """
+    sends: Dict[int, TraceRecord] = {}
+    delivers: Dict[int, TraceRecord] = {}
+    spans: Dict[int, List[TraceRecord]] = {}
+    shared_spans = 0
+    for rec in records:
+        if rec.kind == "msg.send":
+            sends[rec.detail["msg_id"]] = rec
+        elif rec.kind == "msg.deliver":
+            delivers[rec.detail["msg_id"]] = rec
+        elif rec.kind in _HOP_KINDS:
+            mid = rec.detail.get("msg_id", -1)
+            if mid < 0:
+                shared_spans += 1
+            else:
+                spans.setdefault(mid, []).append(rec)
+
+    chains: List[MessageChain] = []
+    orphan_spans = 0
+    for mid, send in sends.items():
+        deliver = delivers.get(mid)
+        if deliver is None:
+            continue
+        d = send.detail
+        chain = MessageChain(
+            msg_id=mid, src=d["src"], dst=d["dst"], size=d["size"],
+            msg_kind=d["msg_kind"], port=d["port"], scope=d["scope"],
+            send_time=send.time, deliver_time=deliver.time)
+        path = sorted(spans.get(mid, ()), key=lambda r: (r.time, r.detail["t0"]))
+        prev = send.time
+        for rec in path:
+            cls, label = _hop_identity(rec)
+            chain.hops.append(MessageHop(
+                cls=cls, label=label, start=prev, end=rec.time,
+                elapsed=rec.time - prev, span_dur=rec.detail["dur"],
+                wait=rec.detail.get("wait", 0.0)))
+            prev = rec.time
+        # The remainder — propagation and receive-side CPU after the
+        # last span (the whole path, for span-less self messages).
+        tail_cls = "delivery" if path else "local"
+        chain.hops.append(MessageHop(
+            cls=tail_cls, label=tail_cls, start=prev, end=deliver.time,
+            elapsed=deliver.time - prev, span_dur=0.0, wait=0.0))
+        chains.append(chain)
+    for mid, recs in spans.items():
+        if mid not in sends or mid not in delivers:
+            orphan_spans += len(recs)
+    chains.sort(key=lambda c: (c.send_time, c.msg_id))
+    counts = {
+        "chains": len(chains),
+        "unmatched_send": len(sends) - len(chains),
+        "unmatched_deliver": len(delivers) - len(chains),
+        "shared_spans": shared_spans,
+        "orphan_spans": orphan_spans,
+    }
+    return chains, counts
+
+
+def chain_stats(chains: Iterable[MessageChain]
+                ) -> Dict[str, Dict[str, float]]:
+    """Per-scope (self / lan / wan) chain count and latency stats."""
+    out: Dict[str, Dict[str, float]] = {}
+    for chain in chains:
+        s = out.setdefault(chain.scope, {"count": 0, "total_latency": 0.0,
+                                         "max_latency": 0.0})
+        s["count"] += 1
+        s["total_latency"] += chain.latency
+        s["max_latency"] = max(s["max_latency"], chain.latency)
+    for s in out.values():
+        s["mean_latency"] = s["total_latency"] / s["count"]
+    return out
+
+
+def hop_attribution(chains: Iterable[MessageChain],
+                    scope: Optional[str] = "wan") -> Dict[str, float]:
+    """Seconds of chain latency attributed to each hop class.
+
+    Restricted to chains of ``scope`` (None = all).  Because hops
+    telescope, the values sum to the total latency of the selected
+    chains — this *is* a partition, unlike the mechanism breakdown in
+    :func:`repro.obs.analyzers.intercluster_breakdown`.
+    """
+    out: Dict[str, float] = {}
+    for chain in chains:
+        if scope is not None and chain.scope != scope:
+            continue
+        for hop in chain.hops:
+            out[hop.cls] = out.get(hop.cls, 0.0) + hop.elapsed
+    return out
+
+
+def format_chain(chain: MessageChain) -> str:
+    """Render one chain as an indented per-hop table."""
+    head = (f"msg {chain.msg_id} [{chain.msg_kind}] "
+            f"node{chain.src} -> node{chain.dst} ({chain.scope}, "
+            f"{chain.size}B, port {chain.port}): "
+            f"{chain.latency * 1e3:.3f} ms")
+    lines = [head]
+    for hop in chain.hops:
+        share = hop.elapsed / chain.latency if chain.latency > 0 else 0.0
+        extra = f", waited {hop.wait * 1e3:.3f} ms" if hop.wait > 0 else ""
+        lines.append(f"    {hop.label:<28} {hop.elapsed * 1e3:9.3f} ms "
+                     f"{100 * share:5.1f}%{extra}")
+    return "\n".join(lines)
+
+
+def format_chains(chains: List[MessageChain], counts: Dict[str, int],
+                  limit: int = 5) -> str:
+    """The ``repro chains`` report: stats plus the slowest WAN chains."""
+    lines = []
+    stats = chain_stats(chains)
+    lines.append(f"{counts['chains']} message chains reconstructed "
+                 f"({counts['unmatched_deliver']} deliveries without a "
+                 f"send — multicast copies; {counts['shared_spans']} "
+                 f"shared fan-out spans)")
+    for scope in ("self", "lan", "wan"):
+        if scope in stats:
+            s = stats[scope]
+            lines.append(f"  {scope:>4}: {int(s['count']):>7} chains, "
+                         f"mean {s['mean_latency'] * 1e3:8.3f} ms, "
+                         f"max {s['max_latency'] * 1e3:8.3f} ms")
+    wan = [c for c in chains if c.intercluster]
+    if wan:
+        attrib = hop_attribution(wan, scope="wan")
+        total = sum(attrib.values())
+        lines.append("  intercluster latency by hop "
+                     "(a partition — hops telescope):")
+        for cls, secs in sorted(attrib.items(), key=lambda kv: -kv[1]):
+            lines.append(f"    {cls:>12}: {secs:10.4f} s  "
+                         f"{100 * secs / total:5.1f}%")
+        slowest = sorted(wan, key=lambda c: -c.latency)[:limit]
+        lines.append(f"  slowest {len(slowest)} intercluster chains:")
+        for chain in slowest:
+            lines.append("  " + format_chain(chain).replace("\n", "\n  "))
+    return "\n".join(lines)

@@ -1,24 +1,38 @@
-"""Trace exporters: JSONL and Chrome ``trace_event`` (Perfetto) formats.
+"""Trace exporters: JSONL, Chrome ``trace_event`` (Perfetto), folded stacks.
 
-Two stable on-disk formats, both stamped with the schema version:
+Three stable on-disk formats, all stamped with the schema version where
+the format allows it:
 
 * **JSONL** (:func:`write_jsonl` / :func:`read_jsonl`) — a header line
   ``{"schema": "repro.trace", "version": N}`` followed by one JSON
   object per record, ``{"t": <time>, "kind": <kind>, ...fields}``.
-  Lossless; round-trips back into :class:`~repro.sim.trace.TraceRecord`.
+  Lossless; round-trips back into :class:`~repro.sim.trace.TraceRecord`
+  (sequence-valued detail fields are normalized to tuples on read —
+  JSON cannot tell a tuple from a list, and the emitters only ever use
+  tuples).  Detail fields named ``t`` or ``kind`` would silently
+  overwrite the record envelope, so :func:`write_jsonl` rejects them.
 * **Chrome trace** (:func:`chrome_trace` / :func:`write_chrome`) — the
   ``trace_event`` JSON object format that chrome://tracing and
   https://ui.perfetto.dev open directly.  Span kinds become complete
   ("X") events, instants become instant ("i") events; lanes (pid/tid)
   group records by subsystem: network links, gateways, Orca per-node
   operation lifecycles, the sequencer, and simulation processes.
+  Message journeys additionally become **flow events** ("s"/"t"/"f"
+  sharing the message id) connecting each hop's slice across lanes —
+  the causal chains of :mod:`repro.obs.chains`, drawn as arrows.
   Virtual seconds are exported as microseconds (the format's unit).
+* **Folded stacks** (:func:`folded_stacks` / :func:`write_folded`) —
+  the semicolon-separated stack format consumed by flamegraph.pl,
+  speedscope and friends: caller lane, then nested Orca operation
+  spans (``rpc.complete`` / ``bcast.complete`` with the sequencer legs
+  inside them), one line per unique stack with its *self* time in
+  virtual microseconds.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, IO, Iterable, List, Tuple
+from typing import Any, Dict, IO, Iterable, List, Tuple
 
 from ..sim.trace import TraceRecord
 from .schema import KINDS, SCHEMA_VERSION
@@ -28,9 +42,15 @@ __all__ = [
     "read_jsonl",
     "chrome_trace",
     "write_chrome",
+    "folded_stacks",
+    "write_folded",
 ]
 
 JSONL_HEADER = {"schema": "repro.trace", "version": SCHEMA_VERSION}
+
+#: Envelope keys of the JSONL record objects; detail fields must not
+#: collide with them (they would corrupt the export).
+_RESERVED_JSONL_KEYS = ("t", "kind")
 
 
 # ---------------------------------------------------------------- JSONL
@@ -38,20 +58,42 @@ JSONL_HEADER = {"schema": "repro.trace", "version": SCHEMA_VERSION}
 def write_jsonl(records: Iterable[TraceRecord], fh: IO[str]) -> int:
     """Write the header line plus one JSON object per record.
 
-    Returns the number of records written.
+    Raises :class:`ValueError` on a detail field named ``t`` or
+    ``kind`` — flattening such a record would silently overwrite the
+    record's time or kind in the export.  Returns the number of records
+    written.
     """
     fh.write(json.dumps(JSONL_HEADER) + "\n")
     n = 0
     for rec in records:
         obj = {"t": rec.time, "kind": rec.kind}
+        for key in _RESERVED_JSONL_KEYS:
+            if key in rec.detail:
+                raise ValueError(
+                    f"record {rec.kind!r} at t={rec.time}: detail field "
+                    f"{key!r} collides with the JSONL envelope; rename it")
         obj.update(rec.detail)
         fh.write(json.dumps(obj) + "\n")
         n += 1
     return n
 
 
+def _tuplify(value: Any) -> Any:
+    """Normalize JSON arrays (and nested containers) back to tuples."""
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _tuplify(v) for k, v in value.items()}
+    return value
+
+
 def read_jsonl(fh: IO[str]) -> List[TraceRecord]:
-    """Read a JSONL export back into records (header is checked)."""
+    """Read a JSONL export back into records (header is checked).
+
+    Sequence-valued detail fields come back as tuples: JSON has no
+    tuple type, and the trace emitters only attach tuples, so this is
+    the lossless direction.
+    """
     header = json.loads(fh.readline())
     if header.get("schema") != JSONL_HEADER["schema"]:
         raise ValueError(f"not a repro trace file: header {header!r}")
@@ -66,7 +108,7 @@ def read_jsonl(fh: IO[str]) -> List[TraceRecord]:
         obj = json.loads(line)
         time = obj.pop("t")
         kind = obj.pop("kind")
-        records.append(TraceRecord(time, kind, obj))
+        records.append(TraceRecord(time, kind, _tuplify(obj)))
     return records
 
 
@@ -79,6 +121,7 @@ class _Lanes:
     def __init__(self):
         self._pids: Dict[str, int] = {}
         self._tids: Dict[Tuple[int, str], int] = {}
+        self._next_tid: Dict[int, int] = {}   # per-pid tid counter
         self.metadata: List[dict] = []
 
     def lane(self, process: str, thread: str) -> Tuple[int, int]:
@@ -90,8 +133,9 @@ class _Lanes:
                 "args": {"name": process}})
         tid = self._tids.get((pid, thread))
         if tid is None:
-            tid = self._tids[(pid, thread)] = \
-                sum(1 for key in self._tids if key[0] == pid) + 1
+            tid = self._next_tid.get(pid, 0) + 1
+            self._next_tid[pid] = tid
+            self._tids[(pid, thread)] = tid
             self.metadata.append({
                 "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
                 "args": {"name": thread}})
@@ -130,31 +174,68 @@ def _lane_for(rec: TraceRecord) -> Tuple[str, str, str]:
     return "other", kind, kind
 
 
-def chrome_trace(records: Iterable[TraceRecord]) -> dict:
+def _flow_events(hop_events: Dict[int, List[dict]]) -> List[dict]:
+    """Perfetto flow events tying each message's hop slices together.
+
+    For every message whose path touched at least two attributed hop
+    slices, emit one flow: ``"s"`` (start) anchored inside the first
+    slice, ``"t"`` (step) in each intermediate slice, ``"f"`` (finish,
+    ``bp: "e"`` = bind to enclosing slice) in the last.  All share
+    ``id`` = the message id, so Perfetto draws them as one connected
+    arrow chain across lanes.
+    """
+    flows: List[dict] = []
+    for msg_id, evs in hop_events.items():
+        if len(evs) < 2:
+            continue
+        for i, ev in enumerate(evs):
+            ph = "s" if i == 0 else ("f" if i == len(evs) - 1 else "t")
+            flow = {
+                "name": "message path", "cat": "flow", "ph": ph,
+                "id": msg_id, "pid": ev["pid"], "tid": ev["tid"],
+                "ts": ev["ts"],
+            }
+            if ph == "f":
+                flow["bp"] = "e"
+            flows.append(flow)
+    return flows
+
+
+def chrome_trace(records: Iterable[TraceRecord], flows: bool = True) -> dict:
     """Build the Chrome ``trace_event`` object for an iterable of records.
 
     The result is JSON-serializable and structurally valid for Perfetto:
     a ``traceEvents`` list of ``M``/``X``/``i`` events plus metadata
-    carrying the repro schema version.
+    carrying the repro schema version.  With ``flows`` (the default),
+    message hop slices carrying a ``msg_id`` are additionally connected
+    by ``"s"``/``"t"``/``"f"`` flow events (appended after the data
+    events), rendering each message's causal chain as arrows.
     """
     lanes = _Lanes()
     events: List[dict] = []
+    hop_events: Dict[int, List[dict]] = {}
     for rec in records:
         spec = KINDS.get(rec.kind)
         process, thread, name = _lane_for(rec)
         pid, tid = lanes.lane(process, thread)
         args = {k: v for k, v in rec.detail.items() if k not in ("t0", "dur")}
         if spec is not None and spec.span:
-            events.append({
+            event = {
                 "name": name, "ph": "X", "cat": rec.kind,
                 "ts": rec.detail["t0"] * 1e6,
                 "dur": rec.detail["dur"] * 1e6,
-                "pid": pid, "tid": tid, "args": args})
+                "pid": pid, "tid": tid, "args": args}
+            msg_id = rec.detail.get("msg_id", -1)
+            if flows and msg_id >= 0:
+                hop_events.setdefault(msg_id, []).append(event)
         else:
-            events.append({
+            event = {
                 "name": name, "ph": "i", "cat": rec.kind,
                 "ts": rec.time * 1e6, "s": "t",
-                "pid": pid, "tid": tid, "args": args})
+                "pid": pid, "tid": tid, "args": args}
+        events.append(event)
+    if flows:
+        events.extend(_flow_events(hop_events))
     return {
         "traceEvents": lanes.metadata + events,
         "displayTimeUnit": "ms",
@@ -162,9 +243,96 @@ def chrome_trace(records: Iterable[TraceRecord]) -> dict:
     }
 
 
-def write_chrome(records: Iterable[TraceRecord], fh: IO[str]) -> int:
+def write_chrome(records: Iterable[TraceRecord], fh: IO[str],
+                 flows: bool = True) -> int:
     """Serialize :func:`chrome_trace` to ``fh``; returns the event count
-    (metadata events excluded)."""
-    trace = chrome_trace(records)
+    (metadata and flow events excluded)."""
+    trace = chrome_trace(records, flows=flows)
     json.dump(trace, fh)
-    return sum(1 for ev in trace["traceEvents"] if ev["ph"] != "M")
+    return sum(1 for ev in trace["traceEvents"]
+               if ev["ph"] not in ("M", "s", "t", "f"))
+
+
+# -------------------------------------------------------- folded stacks
+
+#: Span kinds that appear in flame graphs, with the lane (stack root)
+#: each belongs to and its frame name.
+_FOLDED_LANE = {
+    "rpc.complete": lambda d: f"node{d['caller']}",
+    "bcast.complete": lambda d: f"node{d['sender']}",
+    "seq.request": lambda d: f"node{d['sender']}",
+    "seq.grant": lambda d: f"node{d['sender']}",
+    "seq.acquire": lambda d: f"sequencer c{d['cluster']}",
+}
+
+_FOLDED_FRAME = {
+    "rpc.complete": lambda d: f"rpc {d['obj']}.{d['op']}"
+                              + (" [inter]" if d["inter"] else ""),
+    "bcast.complete": lambda d: f"bcast {d['obj']}.{d['op']}",
+    "seq.request": lambda d: "seq request"
+                             + (" [bb]" if d["bb"] else "")
+                             + (" [inter]" if d["inter"] else ""),
+    "seq.grant": lambda d: "seq grant"
+                           + (" [inter]" if d["inter"] else ""),
+    "seq.acquire": lambda d: f"seq acquire [{d['protocol']}]",
+}
+
+
+def folded_stacks(records: Iterable[TraceRecord]) -> Dict[str, float]:
+    """Aggregate Orca operation spans into folded flame-graph stacks.
+
+    Per caller lane (``node<N>``, plus one ``sequencer c<C>`` lane per
+    stamping cluster), spans nest by interval containment: a
+    ``seq.request`` leg that ran inside a ``bcast.complete`` span
+    becomes its child frame, a nested RPC stacks under its enclosing
+    operation, and so on.  Returns ``{stack: seconds}`` where ``stack``
+    is the semicolon-joined frame path and ``seconds`` the *self* time
+    (the span's length minus its nested children) — the folded
+    convention flamegraph.pl and speedscope expect.
+    """
+    by_lane: Dict[str, List[TraceRecord]] = {}
+    for rec in records:
+        lane_of = _FOLDED_LANE.get(rec.kind)
+        if lane_of is not None:
+            by_lane.setdefault(lane_of(rec.detail), []).append(rec)
+
+    folded: Dict[str, float] = {}
+
+    def close(entry: dict) -> None:
+        self_time = max(0.0, entry["dur"] - entry["child"])
+        key = ";".join(entry["path"])
+        folded[key] = folded.get(key, 0.0) + self_time
+
+    eps = 1e-12
+    for lane, recs in sorted(by_lane.items()):
+        spans = sorted(recs, key=lambda r: (r.detail["t0"], -r.detail["dur"]))
+        stack: List[dict] = []
+        for rec in spans:
+            t0 = rec.detail["t0"]
+            while stack and stack[-1]["end"] <= t0 + eps:
+                close(stack.pop())
+            frame = _FOLDED_FRAME[rec.kind](rec.detail)
+            parent_path = stack[-1]["path"] if stack else (lane,)
+            entry = {"end": rec.time, "dur": rec.detail["dur"],
+                     "child": 0.0, "path": parent_path + (frame,)}
+            if stack:
+                stack[-1]["child"] += rec.detail["dur"]
+            stack.append(entry)
+        while stack:
+            close(stack.pop())
+    return folded
+
+
+def write_folded(records: Iterable[TraceRecord], fh: IO[str]) -> int:
+    """Write folded stacks, one ``stack value`` line per unique stack.
+
+    Values are virtual **microseconds** with nanosecond resolution
+    (decimals are accepted by flamegraph.pl and speedscope); lines come
+    out sorted for reproducible diffs.  Returns the line count.
+    """
+    folded = folded_stacks(records)
+    n = 0
+    for path in sorted(folded):
+        fh.write(f"{path} {folded[path] * 1e6:.3f}\n")
+        n += 1
+    return n

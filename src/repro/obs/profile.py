@@ -74,15 +74,23 @@ def profile_app(app_name: str, variant: str = "original",
                 params: Any = None, network: NetworkParams = DAS_PARAMS,
                 sequencer: Optional[str] = None,
                 tracer: Optional[Tracer] = None,
-                n_buckets: int = 60) -> BottleneckReport:
+                n_buckets: int = 60,
+                ring: Optional[int] = None,
+                sample: Optional[Dict[str, int]] = None) -> BottleneckReport:
     """Run ``app_name``/``variant`` traced and condense the diagnosis.
 
     ``params`` defaults to the benchmark problem sizes
     (:func:`repro.harness.figures.bench_params`).  ``tracer`` lets a
     sweep share one trace buffer across grid points (it is cleared
     before the run and after condensing); by default a fresh one is
-    used.  The run itself is bit-identical to an untraced run — tracing
-    only observes.
+    used.  ``ring`` / ``sample`` bound the default tracer's memory (ring
+    buffer of the last N records, deterministic 1-in-k per-kind
+    sampling — see ``docs/TRACING.md``); a bounded trace profiles the
+    *tail* (ring) or a *thinned* view (sampling) of the run, so the
+    attributed seconds shrink accordingly while the diagnosis shape
+    survives.  They are ignored when an explicit ``tracer`` is passed —
+    the caller's bounding wins.  The run itself is bit-identical to an
+    untraced run — tracing only observes.
     """
     from ..apps import make_app
     from ..harness.experiment import run_app
@@ -91,7 +99,7 @@ def profile_app(app_name: str, variant: str = "original",
     if params is None:
         params = bench_params(app_name)
     if tracer is None:
-        tracer = Tracer()
+        tracer = Tracer(ring=ring, sample=sample)
     tracer.clear()
     tracer.enabled = True
     if tracer.kinds is None:
@@ -154,8 +162,9 @@ def format_bottleneck(report: BottleneckReport) -> str:
                          f"{_pct(secs / total):>4}")
     lines.append(f"  CPUs: mean {_pct(report.cpu_mean)} busy "
                  "(compute + protocol overhead)")
-    wan_link, wan_util = report.timeline.busiest("wan")
-    if wan_link:
+    busiest_wan = report.timeline.busiest("wan")
+    if busiest_wan is not None:
+        wan_link, wan_util = busiest_wan
         lines.append(f"  WAN : busiest PVC {wan_link} at {_pct(wan_util)} "
                      "busy over the run")
     if report.gateway_peak[0] >= 0:

@@ -39,7 +39,11 @@ __all__ = [
 ]
 
 #: Bump on any backward-incompatible change to a kind or field.
-SCHEMA_VERSION = 1
+#: v2: ``link.busy``, ``gw.forward`` and ``wan.xfer`` gained a
+#: ``msg_id`` field attributing the occupancy to the point-to-point
+#: message it served (-1 for shared legs, e.g. multicast fan-out),
+#: enabling the causal message chains of :mod:`repro.obs.chains`.
+SCHEMA_VERSION = 2
 
 #: Field type tags used by the specs below.
 _CHECKS = {
@@ -113,20 +117,26 @@ KINDS: Dict[str, KindSpec] = {spec.name: spec for spec in [
           link=("str", "resource name, e.g. lanout3 / gwaccess0 / wan(0, 1)"),
           cls=("str", "link class: lan_out / lan_in / access / wan"),
           size=("int", "payload bytes serialized"),
-          wait=("float", "queueing delay before occupancy, virtual seconds")),
+          wait=("float", "queueing delay before occupancy, virtual seconds"),
+          msg_id=("int", "message this occupancy served; -1 when shared "
+                         "(multicast fan-out legs)")),
     _spec("gw.forward", "repro.network.fabric", True,
           "a gateway store-and-forward CPU charge",
           cluster=("int", "gateway's cluster id"),
           size=("int", "payload bytes forwarded"),
           qdepth=("int", "gateway CPU queue depth sampled at entry "
-                         "(waiters + in service, this request included)")),
+                         "(waiters + in service, this request included)"),
+          msg_id=("int", "message this forward served; -1 when shared "
+                         "(multicast fan-out legs)")),
     _spec("wan.xfer", "repro.network.fabric", True,
           "one WAN PVC transfer: queue + serialization + latency",
           src_cluster=("int", "sending cluster id"),
           dst_cluster=("int", "receiving cluster id"),
           size=("int", "payload bytes"),
           tx=("float", "pure serialization time size/bandwidth, "
-                       "virtual seconds")),
+                       "virtual seconds"),
+          msg_id=("int", "message this transfer served; -1 when shared "
+                         "(multicast fan-out legs)")),
     # ---------------------------------------- Orca op lifecycle (orca)
     _spec("rpc.issue", "repro.orca.runtime", False,
           "a shared-object RPC left the caller",

@@ -28,13 +28,22 @@ from .broadcast import BcastPayload, TotalOrderBroadcast
 from .objects import Blocked, ObjectSpec, Operation, Replica
 from .sequencer import SequencerProtocol, make_sequencer
 
-__all__ = ["OrcaRuntime", "Context"]
+__all__ = ["OrcaRuntime", "Context", "reset_req_ids"]
 
 RPC_PORT = "orca.rpc"
 #: CPU cost of evaluating a guard that fails.
 GUARD_EVAL_COST = 1e-6
 
 _req_ids = itertools.count()
+
+
+def reset_req_ids() -> None:
+    """Restart RPC request-id allocation from 0 (see
+    :func:`repro.network.message.reset_ids` — same run-local-trace
+    rationale; request ids only pair an RPC with its reply port within
+    one run)."""
+    global _req_ids
+    _req_ids = itertools.count()
 
 
 @dataclass

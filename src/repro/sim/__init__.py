@@ -12,7 +12,7 @@ from .engine import (
 )
 from .primitives import CPU, Barrier, Channel, Resource
 from .rng import derive_seed, substream
-from .trace import TraceRecord, Tracer
+from .trace import TraceRecord, Tracer, TraceSpec
 
 __all__ = [
     "AllOf",
@@ -31,4 +31,5 @@ __all__ = [
     "substream",
     "TraceRecord",
     "Tracer",
+    "TraceSpec",
 ]

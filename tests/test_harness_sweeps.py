@@ -142,20 +142,99 @@ def test_cache_clear(tmp_path):
     assert cache.clear() == 0
 
 
-def test_default_jobs_env(monkeypatch):
+def test_default_jobs_env(monkeypatch, capsys):
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     assert default_jobs() == 1
+    assert capsys.readouterr().err == ""
     monkeypatch.setenv("REPRO_JOBS", "6")
     assert default_jobs() == 6
     assert ParallelRunner().jobs == 6
+    assert capsys.readouterr().err == ""
     monkeypatch.setenv("REPRO_JOBS", "junk")
     assert default_jobs() == 1
+    err = capsys.readouterr().err
+    assert "unparsable" in err and "junk" in err and "REPRO_JOBS" in err
+
+
+def test_default_jobs_clamps_nonpositive(monkeypatch, capsys):
+    # Parsable but nonsensical values clamp silently to serial.
+    for raw in ("0", "-3"):
+        monkeypatch.setenv("REPRO_JOBS", raw)
+        assert default_jobs() == 1
+    assert capsys.readouterr().err == ""
 
 
 def test_default_cache_dir_env(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "x"))
     assert default_cache_dir() == str(tmp_path / "x")
     assert ResultCache().root == str(tmp_path / "x")
+
+
+# ------------------------------------------------------- traced sweeps
+
+
+def test_trace_spec_is_excluded_from_the_cache_key():
+    from repro.sim import TraceSpec
+
+    plain = RunSpec("tsp", "original", 1, 2, small_params("tsp"))
+    traced = RunSpec("tsp", "original", 1, 2, small_params("tsp"),
+                     trace=TraceSpec(ring=100))
+    assert plain.key() == traced.key()
+
+
+def test_traced_sweep_is_bit_identical_and_carries_records():
+    from repro.sim import TraceSpec
+
+    specs = [RunSpec("tsp", "original", c, 2, small_params("tsp"))
+             for c in (1, 2)]
+    plain = ParallelRunner(jobs=1).run(specs)
+    traced = ParallelRunner(jobs=2, trace=TraceSpec(ring=5000)).run(specs)
+    _same_results(plain, traced)
+    for res in plain:
+        assert res.trace_records is None
+    for res in traced:
+        assert res.trace_records and len(res.trace_records) <= 5000
+
+
+def test_traced_specs_bypass_the_cache_both_ways(tmp_path):
+    from repro.sim import TraceSpec
+
+    cache = ResultCache(str(tmp_path / "c"))
+    specs = [RunSpec("tsp", "original", 1, 2, small_params("tsp"))]
+    ParallelRunner(jobs=1, cache=cache).run(specs)  # warm the cache
+
+    traced = ParallelRunner(jobs=1, cache=cache,
+                            trace=TraceSpec(sample=(("msg.send", 4),)))
+    results = traced.run(specs)
+    assert traced.hits == 0          # a cached result has no records
+    assert traced.computed == 1
+    assert results[0].trace_records
+
+    # ... and the traced result was not written back: the cached entry
+    # stays slim.
+    cached = cache.get(specs[0].key())
+    assert getattr(cached, "trace_records", None) is None
+
+
+def test_trace_dir_exports_perfetto_and_strips_records(tmp_path):
+    import json
+
+    from repro.sim import TraceSpec
+
+    out = tmp_path / "traces"
+    runner = ParallelRunner(jobs=2, trace=TraceSpec(ring=2000),
+                            trace_dir=str(out))
+    specs = [RunSpec("tsp", "original", c, 2, small_params("tsp"))
+             for c in (1, 2)]
+    results = runner.run(specs)
+    assert len(runner.trace_files) == 2
+    for path, spec in zip(runner.trace_files, specs):
+        assert f"{spec.app}-{spec.variant}-{spec.n_clusters}x" in path
+        with open(path, encoding="utf-8") as fh:
+            trace = json.load(fh)
+        assert trace["traceEvents"]
+    # Records were dropped after export: big sweeps never hold them all.
+    assert all(res.trace_records is None for res in results)
 
 
 # ------------------------------------------------- harness integration
@@ -283,3 +362,38 @@ def test_cli_no_cache_flag(tmp_path, monkeypatch, capsys):
     capsys.readouterr()
     assert main(["cache"]) == 0
     assert "(0 results)" in capsys.readouterr().out
+
+
+def test_cli_trace_flags_require_trace_dir(capsys):
+    from repro.__main__ import main
+
+    assert main(["figure", "fig7", "--cpus", "4", "--no-cache",
+                 "--trace-ring", "100"]) == 2
+    assert "--trace-dir" in capsys.readouterr().err
+    assert main(["figure", "fig7", "--cpus", "4", "--no-cache",
+                 "--trace-sample", "msg.send=4"]) == 2
+    assert "--trace-dir" in capsys.readouterr().err
+    # Unknown kinds and bad counts are rejected before any run starts.
+    assert main(["figure", "fig7", "--cpus", "4", "--no-cache",
+                 "--trace-dir", "x", "--trace-sample", "bogus.kind=4"]) == 2
+    assert "bogus.kind" in capsys.readouterr().err
+    assert main(["figure", "fig7", "--cpus", "4", "--no-cache",
+                 "--trace-dir", "x", "--trace-sample", "msg.send=0"]) == 2
+    assert "must be >= 1" in capsys.readouterr().err
+
+
+def test_cli_figure_with_trace_dir(tmp_path, capsys):
+    import json
+
+    from repro.__main__ import main
+
+    out = tmp_path / "traces"
+    assert main(["figure", "fig7", "--cpus", "4", "--no-cache",
+                 "--trace-dir", str(out), "--trace-ring", "5000",
+                 "--trace-sample", "msg.send=8"]) == 0
+    err = capsys.readouterr().err
+    assert "Perfetto" in err
+    files = sorted(out.glob("*.trace.json"))
+    assert files
+    with open(files[0], encoding="utf-8") as fh:
+        assert json.load(fh)["traceEvents"]

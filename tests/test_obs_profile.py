@@ -99,7 +99,8 @@ def test_cli_trace_chrome(tmp_path, capsys, monkeypatch):
     assert "perfetto" in capsys.readouterr().out
     obj = json.loads(out_file.read_text())
     assert obj["traceEvents"]
-    assert {ev["ph"] for ev in obj["traceEvents"]} <= {"M", "X", "i"}
+    assert {ev["ph"] for ev in obj["traceEvents"]} <= {"M", "X", "i",
+                                                       "s", "t", "f"}
 
 
 def test_cli_trace_jsonl_with_kind_filter(tmp_path, monkeypatch):

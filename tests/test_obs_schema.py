@@ -61,7 +61,8 @@ def test_validate_rejects_wrong_types():
 
 
 def test_validate_rejects_inconsistent_span():
-    good = {"cluster": 0, "size": 64, "qdepth": 1, "t0": 1.0, "dur": 0.5}
+    good = {"cluster": 0, "size": 64, "qdepth": 1, "msg_id": -1,
+            "t0": 1.0, "dur": 0.5}
     assert validate_record(TraceRecord(1.5, "gw.forward", dict(good))) == []
     bad = dict(good, dur=-0.5)
     assert any("negative dur" in p
