@@ -181,6 +181,9 @@ def cmd_figure(args) -> int:
     if runner.trace_files:
         print(f"(wrote {len(runner.trace_files)} Perfetto traces to "
               f"{runner.trace_dir})", file=sys.stderr)
+    if runner.jobs > 1 and runner.point_records:
+        from .harness import format_stragglers
+        print(format_stragglers(runner.point_records), file=sys.stderr)
     return 0
 
 
@@ -208,7 +211,8 @@ def cmd_app(args) -> int:
 
 def cmd_profile(args) -> int:
     """Run apps traced and print the wide-area bottleneck breakdown."""
-    from .obs import format_bottleneck, format_profile_table, profile_app
+    from .obs import (format_bottleneck, format_profile_diff,
+                      format_profile_table, profile_app)
     from .sim import Tracer
 
     names = PAPER_ORDER if args.app == "all" else [args.app]
@@ -217,6 +221,18 @@ def cmd_profile(args) -> int:
     # sampling) are built in here because profile_app only applies its
     # own ring/sample arguments when it creates the tracer itself.
     tracer = Tracer(ring=args.ring, sample=sample)
+    if args.diff:
+        before_variant, after_variant = args.diff
+        for name in names:
+            print(f"profiling {name} {before_variant} vs {after_variant} "
+                  f"on {args.clusters}x{args.nodes}...", file=sys.stderr)
+            before = profile_app(name, before_variant, args.clusters,
+                                 args.nodes, tracer=tracer)
+            after = profile_app(name, after_variant, args.clusters,
+                                args.nodes, tracer=tracer)
+            print(format_profile_diff(before, after))
+            print()
+        return 0
     reports = []
     for name in names:
         print(f"profiling {name}/{args.variant} on "
@@ -372,6 +388,9 @@ def main(argv=None) -> int:
                         "breakdown (docs/TRACING.md)")
     p_prof.add_argument("app", choices=PAPER_ORDER + ["all"])
     p_prof.add_argument("--variant", default="original")
+    p_prof.add_argument("--diff", nargs=2, metavar=("BEFORE", "AFTER"),
+                        help="profile two variants and print them side by "
+                             "side, e.g. --diff original optimized")
     p_prof.add_argument("--clusters", type=int, default=4)
     p_prof.add_argument("--nodes", type=int, default=8)
     _add_bound_flags(p_prof)

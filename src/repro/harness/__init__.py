@@ -2,7 +2,8 @@
 
 from .experiment import PAPER_CPU_COUNTS, CurvePoint, run_app, speedup_curve
 from .plot import ascii_speedup_plot
-from .sweeps import ParallelRunner, ResultCache, RunSpec, default_jobs
+from .sweeps import (ParallelRunner, ResultCache, RunSpec, default_jobs,
+                     format_stragglers)
 from .figures import (
     FULL_CPUS,
     QUICK_CPUS,
@@ -34,6 +35,7 @@ __all__ = [
     "speedup_curve",
     "ParallelRunner",
     "ResultCache",
+    "format_stragglers",
     "RunSpec",
     "default_jobs",
     "figure15_bars_many",

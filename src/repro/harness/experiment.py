@@ -33,7 +33,8 @@ def run_app(app: Application, variant: str, n_clusters: int,
             utilization: bool = False,
             dedicated_sequencer_node: bool = False,
             topology: Optional[Topology] = None,
-            tracer: Optional[Tracer] = None) -> AppResult:
+            tracer: Optional[Tracer] = None,
+            fast_paths: bool = True) -> AppResult:
     """Run ``app``/``variant`` on ``n_clusters`` x ``nodes_per_cluster``.
 
     ``dedicated_sequencer_node`` applies the paper's further broadcast
@@ -49,6 +50,10 @@ def run_app(app: Application, variant: str, n_clusters: int,
     ``tracer`` supplies the collection buffer, letting a sweep share one
     tracer across grid points (call ``tracer.clear()`` between points —
     the profiler does).  Tracing never changes virtual-time results.
+
+    ``fast_paths=False`` selects the fabric's legacy process-per-leg
+    message paths — the reference implementation the golden equivalence
+    suite compares the default callback-chained paths against.
     """
     app.check_variant(variant)
     # Run-local ids: traces (which join on message/request ids) come out
@@ -60,7 +65,7 @@ def run_app(app: Application, variant: str, n_clusters: int,
     sim = Simulator()
     topo = topology if topology is not None \
         else uniform_clusters(n_clusters, nodes_per_cluster)
-    fabric = Fabric(sim, topo, network, tracer=tracer)
+    fabric = Fabric(sim, topo, network, tracer=tracer, fast_paths=fast_paths)
     if trace:
         fabric.tracer.enabled = True
         sim.obs = fabric.tracer  # process-lifecycle records

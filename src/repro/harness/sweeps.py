@@ -30,13 +30,14 @@ import os
 import pickle
 import sys
 import tempfile
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..apps import ALL_APPS, make_app
 from ..apps.base import AppResult
 from ..network import DAS_PARAMS, NetworkParams
-from ..sim.trace import TraceSpec
+from ..sim.trace import TraceRecord, TraceSpec
 
 __all__ = [
     "RunSpec",
@@ -44,6 +45,7 @@ __all__ = [
     "ParallelRunner",
     "default_jobs",
     "default_cache_dir",
+    "format_stragglers",
 ]
 
 #: Environment variable supplying the default worker count.
@@ -148,6 +150,13 @@ def _execute_spec(spec: RunSpec) -> AppResult:
     return spec.execute()
 
 
+def _execute_timed(spec: RunSpec) -> Tuple[AppResult, float]:
+    """Worker entry point that also reports host wall-clock seconds."""
+    t0 = time.perf_counter()
+    result = spec.execute()
+    return result, time.perf_counter() - t0
+
+
 class ResultCache:
     """On-disk result cache: one pickle per content-hash key.
 
@@ -231,6 +240,12 @@ class ParallelRunner:
         self.trace_files: List[str] = []
         self.hits = 0      # cache hits over this runner's lifetime
         self.computed = 0  # specs actually simulated
+        #: One ``sweep.point`` record per grid point this runner served
+        #: (see docs/TRACING.md): host-side timing, ``time`` is host
+        #: seconds since the runner was created.  This is what lets
+        #: ``repro figure --jobs N`` name its stragglers.
+        self.point_records: List[TraceRecord] = []
+        self._t0 = time.perf_counter()
 
     def run_one(self, spec: RunSpec) -> AppResult:
         return self.run([spec])[0]
@@ -248,10 +263,13 @@ class ParallelRunner:
         for i, spec in enumerate(specs):
             key = spec.key()
             if self.cache is not None and spec.trace is None:
+                t0 = time.perf_counter()
                 hit = self.cache.get(key)
                 if hit is not None:
                     results[i] = hit
                     self.hits += 1
+                    self._record_point(spec, time.perf_counter() - t0,
+                                       cached=True)
                     continue
             dkey = (key, spec.trace)
             todo.setdefault(dkey, []).append(i)
@@ -262,10 +280,11 @@ class ParallelRunner:
             if self.jobs > 1 and len(work) > 1:
                 computed = self._run_pool(work)
             else:
-                computed = [spec.execute() for spec in work]
+                computed = [_execute_timed(spec) for spec in work]
             self.computed += len(work)
-            for dkey, result in zip(dkeys, computed):
+            for dkey, (result, host_s) in zip(dkeys, computed):
                 spec = keyed[dkey]
+                self._record_point(spec, host_s, cached=False)
                 if self.cache is not None and spec.trace is None:
                     self.cache.put(dkey[0], result)
                 if (spec.trace is not None and self.trace_dir
@@ -274,6 +293,15 @@ class ParallelRunner:
                 for i in todo[dkey]:
                     results[i] = result
         return results  # type: ignore[return-value]
+
+    def _record_point(self, spec: RunSpec, host_s: float,
+                      cached: bool) -> None:
+        self.point_records.append(TraceRecord(
+            time=time.perf_counter() - self._t0, kind="sweep.point",
+            detail={"app": spec.app, "variant": spec.variant,
+                    "clusters": spec.n_clusters,
+                    "nodes": spec.nodes_per_cluster,
+                    "host_s": host_s, "cached": cached}))
 
     def _write_trace(self, spec: RunSpec, key: str,
                      result: AppResult) -> str:
@@ -301,4 +329,30 @@ class ParallelRunner:
         n = min(self.jobs, len(work))
         with ctx.Pool(processes=n) as pool:
             # chunksize=1: grid points are coarse and unevenly sized.
-            return pool.map(_execute_spec, work, chunksize=1)
+            return pool.map(_execute_timed, work, chunksize=1)
+
+
+def format_stragglers(records: Sequence[TraceRecord],
+                      limit: int = 5) -> str:
+    """Summarize a sweep's ``sweep.point`` records: who held the batch up.
+
+    With ``--jobs N`` the batch finishes when its slowest point does, so
+    the interesting number is each point's share of the *computed* time:
+    one grid point at 40% of the total is the straggler that bounds how
+    far extra workers can help.
+    """
+    points = [r for r in records if r.kind == "sweep.point"]
+    computed = [r for r in points if not r.detail["cached"]]
+    total = sum(r.detail["host_s"] for r in computed)
+    lines = [f"sweep: {len(points)} points, {len(computed)} simulated, "
+             f"{len(points) - len(computed)} cached, "
+             f"{total:.2f}s host time simulated"]
+    slowest = sorted(computed, key=lambda r: r.detail["host_s"],
+                     reverse=True)[:limit]
+    for r in slowest:
+        d = r.detail
+        share = d["host_s"] / total if total > 0 else 0.0
+        lines.append(f"  {d['host_s']:>7.2f}s ({share:>4.0%})  "
+                     f"{d['app']}/{d['variant']} "
+                     f"{d['clusters']}x{d['nodes']}")
+    return "\n".join(lines)

@@ -19,14 +19,29 @@ Send semantics: :meth:`Fabric.send` is a generator to be driven by the
 *calling* process — the caller pays the sender-side CPU overhead
 synchronously, then the rest of the path proceeds in the background.  It
 returns the delivery event, so callers can also wait for arrival.
+
+Two implementations of every message path coexist (see
+``docs/ARCHITECTURE.md``, *The two-tier resource model*):
+
+* the default **fast path** drives each leg as a flat callback chain on
+  :meth:`Resource.occupy <repro.sim.Resource.occupy>` /
+  :meth:`CPU.execute_ev <repro.sim.CPU.execute_ev>` completion events —
+  an uncontended leg costs a single heap entry, no generator and no
+  :class:`~repro.sim.Process`;
+* the **legacy path** (``fast_paths=False``) is the original per-leg
+  process tree, kept as the executable reference for the determinism
+  contract: both tiers must produce bit-identical answers, virtual
+  times, traffic counters and (non-process) trace records.  The golden
+  equivalence suite in ``tests/test_fabric_fastpath_golden.py`` enforces
+  this for all eight applications.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..metrics.counters import TrafficMeter
-from ..sim import CPU, Channel, Event, Resource, Simulator, Tracer
+from ..sim import CPU, Channel, Event, Resource, Simulator, Tracer, fire
 from .message import Message
 from .params import NetworkParams
 from .topology import Topology
@@ -72,12 +87,17 @@ class Fabric:
 
     def __init__(self, sim: Simulator, topo: Topology, params: NetworkParams,
                  meter: Optional[TrafficMeter] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 fast_paths: bool = True):
         self.sim = sim
         self.topo = topo
         self.params = params
         self.meter = meter if meter is not None else TrafficMeter()
         self.tracer = tracer if tracer is not None else Tracer()
+        #: True: callback-chained legs (the default).  False: the
+        #: original per-leg process trees — the executable reference
+        #: implementation the golden equivalence suite compares against.
+        self.fast_paths = fast_paths
 
         self.nodes: List[Node] = [
             Node(sim, nid, topo.cluster_of(nid)) for nid in range(topo.n_nodes)
@@ -121,9 +141,16 @@ class Fabric:
             tr.emit(self.sim.now, "msg.send", msg_id=msg.msg_id, src=src,
                     dst=dst, size=size, msg_kind=kind, port=port, scope=scope)
         link = self.params.lan if local else self.params.access
+        cost = link.o_send + size * link.per_byte_cpu
         # Sender-side CPU overhead, paid synchronously by the caller.
-        yield self.sim.spawn(self.nodes[src].cpu.execute(
-            link.o_send + size * link.per_byte_cpu))
+        if self.fast_paths:
+            yield self.nodes[src].cpu.execute_ev(cost)
+            if src == dst:
+                return self._fast_self(msg)
+            if local:
+                return self._fast_lan(msg)
+            return self._fast_wan(msg)
+        yield self.sim.spawn(self.nodes[src].cpu.execute(cost))
         if src == dst:
             done = self.sim.spawn(self._deliver_self(msg), name="selfmsg")
         elif local:
@@ -148,8 +175,12 @@ class Fabric:
         receivers have the message.
         """
         lan = self.params.lan
-        yield self.sim.spawn(self.nodes[src].cpu.execute(
-            lan.o_send + self.params.bcast_extra + size * lan.per_byte_cpu))
+        cost = lan.o_send + self.params.bcast_extra + size * lan.per_byte_cpu
+        if self.fast_paths:
+            yield self.nodes[src].cpu.execute_ev(cost)
+            return self._fast_multicast(src, self.topo.cluster_of(src), size,
+                                        payload, port, kind, include_self)
+        yield self.sim.spawn(self.nodes[src].cpu.execute(cost))
         done = self.sim.spawn(
             self._deliver_multicast(src, self.topo.cluster_of(src), size,
                                     payload, port, kind, include_self),
@@ -164,8 +195,12 @@ class Fabric:
         if self.topo.cluster_of(src) == dst_cluster:
             raise ValueError("gateway_multicast targets a *remote* cluster")
         access = self.params.access
-        yield self.sim.spawn(self.nodes[src].cpu.execute(
-            access.o_send + size * access.per_byte_cpu))
+        cost = access.o_send + size * access.per_byte_cpu
+        if self.fast_paths:
+            yield self.nodes[src].cpu.execute_ev(cost)
+            return self._fast_wan_multicast(src, dst_cluster, size, payload,
+                                            port, kind)
+        yield self.sim.spawn(self.nodes[src].cpu.execute(cost))
         done = self.sim.spawn(
             self._deliver_wan_multicast(src, dst_cluster, size, payload,
                                         port, kind),
@@ -187,15 +222,410 @@ class Fabric:
             done.succeed(0)
             return done
         access = self.params.access
-        yield self.sim.spawn(self.nodes[src].cpu.execute(
-            access.o_send + size * access.per_byte_cpu))
+        cost = access.o_send + size * access.per_byte_cpu
+        if self.fast_paths:
+            yield self.nodes[src].cpu.execute_ev(cost)
+            return self._fast_wan_fanout(src, src_cluster, remote, size,
+                                         payload, port, kind)
+        yield self.sim.spawn(self.nodes[src].cpu.execute(cost))
         done = self.sim.spawn(
             self._deliver_wan_fanout(src, src_cluster, remote, size, payload,
                                      port, kind),
             name="wanfanout")
         return done
 
-    # ------------------------------------------------------- path processes
+    # ------------------------------------------------- fast callback chains
+    #
+    # Each _fast_* builds the whole leg chain synchronously and returns
+    # (or drives) completion events; the only heap entries are the
+    # timeouts that genuinely advance virtual time.  Every trace emit
+    # and TrafficMeter call happens at the same virtual time, with the
+    # same fields, as on the legacy process path below.
+
+    def _occupy_ev(self, res: Resource, seconds: float, cls: str = "",
+                   size: int = 0, msg_id: int = -1) -> Event:
+        """Hold ``res`` for ``seconds``; completion event, one ``link.busy``.
+
+        The callback-chained counterpart of :meth:`_occupy`: uncontended
+        occupancies at a quiet instant grant synchronously and schedule
+        one analytic timeout; when other events are pending at the
+        current instant the request/grant go through the heap at legacy
+        dispatch depths (see :meth:`Resource.occupy
+        <repro.sim.Resource.occupy>`), so same-instant races linearize
+        identically in both tiers.  The completion event is posted
+        after the release and trace emit, so chained continuations run
+        at the same dispatch position the legacy occupy *process*
+        resumed its parent leg at.
+        """
+        sim = self.sim
+        done = Event(sim)
+        t_req = sim.now
+
+        def _granted(_ev: Event) -> None:
+            t0 = sim.now
+            hold = sim.timeout(seconds)
+            hold.callbacks.append(
+                lambda _ev2: self._finish_occupy(res, cls, size, msg_id,
+                                                 t_req, t0, done))
+
+        heap = sim._heap
+        if not heap or heap[0][0] > sim.now:
+            if res._in_use < res.capacity:
+                # Quiet + uncontended: grant inline, one analytic timeout.
+                res._account()
+                res._in_use += 1
+                hold = sim.timeout(seconds)
+                hold.callbacks.append(
+                    lambda _ev: self._finish_occupy(res, cls, size, msg_id,
+                                                    t_req, t_req, done))
+            else:
+                # Quiet + contended: join the FIFO inline.
+                res.request().callbacks.append(_granted)
+            return done
+
+        # Busy instant: request one dispatch later; request() posts the
+        # grant, putting the hold two dispatches out — legacy parity.
+        sim.after(0.0, lambda _ev: res.request().callbacks.append(_granted))
+        return done
+
+    def _finish_occupy(self, res: Resource, cls: str, size: int, msg_id: int,
+                       t_req: float, t0: float, done: Event) -> None:
+        res.release()
+        sim = self.sim
+        tr = self.tracer
+        if tr.enabled:
+            now = sim.now
+            tr.emit(now, "link.busy", link=res.name, cls=cls, size=size,
+                    wait=t0 - t_req, msg_id=msg_id, t0=t0, dur=now - t0)
+        heap = sim._heap
+        if not heap or heap[0][0] > sim.now:
+            fire(done, None)  # quiet: complete inline, skip one dispatch
+        else:
+            done.succeed(None)
+
+    def _deposit_complete(self, msg: Message, done: Event) -> None:
+        """Deposit ``msg`` and fire the delivery event (inline when quiet)."""
+        self._deposit(msg)
+        sim = self.sim
+        heap = sim._heap
+        if not heap or heap[0][0] > sim.now:
+            fire(done, msg)
+        else:
+            done.succeed(msg)
+
+    def _fast_self(self, msg: Message) -> Event:
+        # Loopback: negligible wire, small fixed cost — one timeout.
+        done = Event(self.sim)
+        self.sim.after(1e-6,
+                       lambda _ev: self._deposit_complete(msg, done))
+        return done
+
+    def _fast_lan(self, msg: Message) -> Event:
+        # Cut-through: injection and delivery ports overlap (see
+        # _deliver_lan); the two legs join on a countdown.
+        lan = self.params.lan
+        tx = msg.size / lan.bandwidth
+        sim = self.sim
+        done = Event(sim)
+        pending = [2]
+
+        def arrive(_ev: Event) -> None:
+            self._deposit_complete(msg, done)
+
+        def leg_done(_ev: Event) -> None:
+            pending[0] -= 1
+            if not pending[0]:
+                # Two deferred dispatches before the deposit, mirroring
+                # the legacy join (leg completion -> AllOf -> deliver
+                # process): deposits keep their relative dispatch depth
+                # — multicast, then WAN, then LAN — when arrivals on
+                # different path shapes land at the same instant.
+                # Elided at a quiet instant (nothing to race).
+                heap = sim._heap
+                if not heap or heap[0][0] > sim.now:
+                    arrive(_ev)
+                else:
+                    sim.after(0.0, lambda _e: sim.after(0.0, arrive))
+
+        self._occupy_ev(self._lan_out[msg.src], tx, "lan_out", msg.size,
+                        msg.msg_id).callbacks.append(leg_done)
+
+        def start_in(_ev: Event) -> None:
+            occ = self._occupy_ev(self._lan_in[msg.dst], tx, "lan_in",
+                                  msg.size, msg.msg_id)
+            occ.callbacks.append(
+                lambda _ev2: self.nodes[msg.dst].cpu.execute_ev(
+                    lan.o_recv + msg.size * lan.per_byte_cpu
+                ).callbacks.append(leg_done))
+
+        sim.after(lan.latency, start_in)
+        return done
+
+    def _fast_access_up(self, size: int, src_cluster: int, msg_id: int,
+                        then: Callable[[], None]) -> None:
+        """Node -> local gateway over the shared access link."""
+        access = self.params.access
+        occ = self._occupy_ev(self._gw_access[src_cluster],
+                              size / access.bandwidth, "access", size, msg_id)
+        occ.callbacks.append(
+            lambda _ev: self.sim.after(access.latency, lambda _ev2: then()))
+
+    def _fast_access_down(self, msg: Message,
+                          then: Callable[[], None]) -> None:
+        """Remote gateway -> destination node."""
+        access = self.params.access
+        dst = msg.dst
+        occ = self._occupy_ev(self._gw_access[self.topo.cluster_of(dst)],
+                              msg.size / access.bandwidth, "access",
+                              msg.size, msg.msg_id)
+
+        def after_occ(_ev: Event) -> None:
+            def after_lat(_ev2: Event) -> None:
+                self.nodes[dst].cpu.execute_ev(
+                    access.o_recv + msg.size * access.per_byte_cpu
+                ).callbacks.append(lambda _ev3: then())
+
+            self.sim.after(access.latency, after_lat)
+
+        occ.callbacks.append(after_occ)
+
+    def _fast_gw_forward(self, cluster: int, msg_size: int, msg_id: int,
+                         then: Callable[[], None]) -> None:
+        """Store-and-forward charge on one gateway CPU; one ``gw.forward``.
+
+        The queue-depth sample is atomic with the request — the queue
+        this forward actually joins, counting itself — and at a busy
+        instant the request is deferred one dispatch (the grant one
+        more), matching the spawn-deferred legacy :meth:`_gw_execute`
+        so same-instant forwards sample and schedule identically.
+        ``then()`` runs one dispatch after the charge completes, the
+        position the legacy ``_wan_leg`` process resumed at.
+        """
+        sim = self.sim
+        gw = self.gateways[cluster].cpu
+        gwp = self.params.gateway
+        cost = gwp.forward_cost + msg_size * gwp.per_byte_cost
+        t0 = sim.now
+        tr = self.tracer
+
+        def granted(qd: int) -> None:
+            hold = sim.timeout(cost)
+
+            def emit_then(_e: Event) -> None:
+                if tr.enabled:
+                    now = sim.now
+                    tr.emit(now, "gw.forward", cluster=cluster,
+                            size=msg_size, qdepth=qd, msg_id=msg_id,
+                            t0=t0, dur=now - t0)
+                then()
+
+            def fin(_ev: Event) -> None:
+                gw.release()
+                heap = sim._heap
+                if not heap or heap[0][0] > sim.now:
+                    emit_then(_ev)  # quiet: skip the completion dispatch
+                else:
+                    fdone = Event(sim)
+                    fdone.callbacks.append(emit_then)
+                    fdone.succeed(None)
+
+            hold.callbacks.append(fin)
+
+        heap = sim._heap
+        if not heap or heap[0][0] > sim.now:
+            # Quiet instant: sample and grant (or enqueue) inline.
+            qd = gw.queue_length + gw.in_use + 1
+            if gw._in_use < gw.capacity:
+                gw._account()
+                gw._in_use += 1
+                granted(qd)
+            else:
+                gate = Event(sim)
+                gw._waiters.append(gate)
+                gate.callbacks.append(lambda _e, q=qd: granted(q))
+            return
+
+        def request_step(_ev: Event) -> None:
+            qd = gw.queue_length + gw.in_use + 1
+            gw.request().callbacks.append(lambda _e, q=qd: granted(q))
+
+        sim.after(0.0, request_step)
+
+    def _fast_wan_leg(self, msg_size: int, src_cluster: int, dst_cluster: int,
+                      msg_id: int, then: Callable[[], None]) -> None:
+        """Gateway -> WAN PVC -> remote gateway (shared by all WAN paths)."""
+        wan = self.params.wan
+        sim = self.sim
+        tr = self.tracer
+
+        def after_fwd() -> None:
+            # PVC serializes transmissions; latency is pipeline delay.
+            tx = msg_size / wan.bandwidth
+            t1 = sim.now
+            occ = self._occupy_ev(self._wan[(src_cluster, dst_cluster)],
+                                  tx, "wan", msg_size, msg_id)
+
+            def after_occ(_ev2: Event) -> None:
+                self.meter.record_wan(msg_size)
+
+                def after_lat(_ev3: Event) -> None:
+                    if tr.enabled:
+                        now = sim.now
+                        tr.emit(now, "wan.xfer", src_cluster=src_cluster,
+                                dst_cluster=dst_cluster, size=msg_size,
+                                tx=tx, msg_id=msg_id, t0=t1, dur=now - t1)
+                    self._fast_gw_forward(dst_cluster, msg_size, msg_id, then)
+
+                sim.after(wan.latency, after_lat)
+
+            occ.callbacks.append(after_occ)
+
+        self._fast_gw_forward(src_cluster, msg_size, msg_id, after_fwd)
+
+    def _fast_wan(self, msg: Message) -> Event:
+        sim = self.sim
+        done = Event(sim)
+        src_cluster = self.topo.cluster_of(msg.src)
+        dst_cluster = self.topo.cluster_of(msg.dst)
+
+        def arrive(_ev: Event) -> None:
+            self._deposit_complete(msg, done)
+
+        def finish() -> None:
+            # One deferred dispatch (access-leg completion on the
+            # legacy path) so WAN deposits stay one dispatch shallower
+            # than LAN deposits — see _fast_lan.  Elided when quiet.
+            heap = sim._heap
+            if not heap or heap[0][0] > sim.now:
+                arrive(None)
+            else:
+                sim.after(0.0, arrive)
+
+        self._fast_access_up(
+            msg.size, src_cluster, msg.msg_id,
+            lambda: self._fast_wan_leg(
+                msg.size, src_cluster, dst_cluster, msg.msg_id,
+                lambda: self._fast_access_down(msg, finish)))
+        return done
+
+    def _fast_multicast_recv(self, msg: Message, tx: float,
+                             then: Callable[[Event], None]) -> None:
+        lan = self.params.lan
+
+        def after_lat(_ev: Event) -> None:
+            occ = self._occupy_ev(self._lan_in[msg.dst], tx, "lan_in",
+                                  msg.size, msg.msg_id)
+
+            def after_occ(_ev2: Event) -> None:
+                cpu = self.nodes[msg.dst].cpu.execute_ev(
+                    lan.o_recv + msg.size * lan.per_byte_cpu)
+
+                def after_cpu(ev3: Event) -> None:
+                    self._deposit(msg)
+                    then(ev3)
+
+                cpu.callbacks.append(after_cpu)
+
+            occ.callbacks.append(after_occ)
+
+        self.sim.after(lan.latency, after_lat)
+
+    def _fast_multicast(self, src: int, cluster: int, size: int, payload: Any,
+                        port: str, kind: str, include_self: bool) -> Event:
+        lan = self.params.lan
+        tx = size / lan.bandwidth
+        sim = self.sim
+        done = Event(sim)
+        dsts = [d for d in self.topo.nodes_in(cluster)
+                if include_self or d != src]
+        pending = [1 + len(dsts)]
+        n = len(dsts)
+
+        def leg_done(_ev: Event) -> None:
+            pending[0] -= 1
+            if not pending[0]:
+                done.succeed(n)
+
+        # Injection overlaps delivery (spanning-tree forwarding in the NIC).
+        self._occupy_ev(self._lan_out[src], tx, "lan_out",
+                        size).callbacks.append(leg_done)
+        for dst in dsts:
+            msg = Message(src=src, dst=dst, size=size, payload=payload,
+                          port=port, kind=kind, send_time=sim.now)
+            self._fast_multicast_recv(msg, tx, leg_done)
+        return done
+
+    def _fast_remote_gw_multicast(self, src: int, dst_cluster: int, size: int,
+                                  payload: Any, port: str, kind: str,
+                                  then: Callable[[int], None]) -> None:
+        """Re-inject a WAN arrival as a local multicast in ``dst_cluster``."""
+        lan = self.params.lan
+        gw = self.gateways[dst_cluster]
+        cpu = gw.cpu.execute_ev(lan.o_send + self.params.bcast_extra)
+
+        def after_cpu(_ev: Event) -> None:
+            tx = size / lan.bandwidth
+            dsts = self.topo.nodes_in(dst_cluster)
+            if not dsts:
+                then(0)
+                return
+            pending = [len(dsts)]
+
+            def recv_done(_ev2: Event) -> None:
+                pending[0] -= 1
+                if not pending[0]:
+                    then(len(dsts))
+
+            for dst in dsts:
+                msg = Message(src=src, dst=dst, size=size, payload=payload,
+                              port=port, kind=kind, send_time=self.sim.now)
+                self._fast_multicast_recv(msg, tx, recv_done)
+
+        cpu.callbacks.append(after_cpu)
+
+    def _fast_wan_fanout(self, src: int, src_cluster: int, remote: List[int],
+                         size: int, payload: Any, port: str,
+                         kind: str) -> Event:
+        done = Event(self.sim)
+        total = [0, len(remote)]
+
+        def leg_done(n: int) -> None:
+            total[0] += n
+            total[1] -= 1
+            if not total[1]:
+                done.succeed(total[0])
+
+        def after_up() -> None:
+            for c in remote:
+                self._fast_wan_leg(
+                    size, src_cluster, c, -1,
+                    lambda c=c: self._fast_remote_gw_multicast(
+                        src, c, size, payload, port, kind, leg_done))
+
+        self._fast_access_up(size, src_cluster, -1, after_up)
+        return done
+
+    def _fast_wan_multicast(self, src: int, dst_cluster: int, size: int,
+                            payload: Any, port: str, kind: str) -> Event:
+        done = Event(self.sim)
+        src_cluster = self.topo.cluster_of(src)
+
+        def after_up() -> None:
+            self._fast_wan_leg(
+                size, src_cluster, dst_cluster, -1,
+                lambda: self._fast_remote_gw_multicast(
+                    src, dst_cluster, size, payload, port, kind,
+                    done.succeed))
+
+        self._fast_access_up(size, src_cluster, -1, after_up)
+        return done
+
+    # ------------------------------------------- legacy path processes
+    #
+    # The original per-leg process trees, selected by ``fast_paths=
+    # False``.  They are the reference implementation of the fabric's
+    # timing semantics: the golden equivalence suite runs every app in
+    # both modes and requires identical results and traces.
 
     def _occupy(self, res: Resource, seconds: float, cls: str = "",
                 size: int = 0, msg_id: int = -1) -> Generator:
@@ -262,13 +692,10 @@ class Fabric:
         wan = self.params.wan
         tr = self.tracer
         traced = tr.enabled
+        fwd_cost = gwp.forward_cost + msg_size * gwp.per_byte_cost
         # Local gateway store-and-forward.
-        gw = self.gateways[src_cluster].cpu
         t0 = self.sim.now
-        if traced:
-            qd = gw.queue_length + gw.in_use + 1
-        yield self.sim.spawn(gw.execute(
-            gwp.forward_cost + msg_size * gwp.per_byte_cost))
+        qd = yield self.sim.spawn(self._gw_execute(src_cluster, fwd_cost))
         if traced:
             now = self.sim.now
             tr.emit(now, "gw.forward", cluster=src_cluster, size=msg_size,
@@ -287,24 +714,43 @@ class Fabric:
                     dst_cluster=dst_cluster, size=msg_size, tx=tx,
                     msg_id=msg_id, t0=t0, dur=now - t0)
         # Remote gateway store-and-forward.
-        gw = self.gateways[dst_cluster].cpu
         t0 = self.sim.now
-        if traced:
-            qd = gw.queue_length + gw.in_use + 1
-        yield self.sim.spawn(gw.execute(
-            gwp.forward_cost + msg_size * gwp.per_byte_cost))
+        qd = yield self.sim.spawn(self._gw_execute(dst_cluster, fwd_cost))
         if traced:
             now = self.sim.now
             tr.emit(now, "gw.forward", cluster=dst_cluster, size=msg_size,
                     qdepth=qd, msg_id=msg_id, t0=t0, dur=now - t0)
 
-    def _access_leg_up(self, msg: Message, msg_id: int = -1) -> Generator:
-        """Node -> local gateway over the shared access link."""
+    def _gw_execute(self, cluster: int, cost: float) -> Generator:
+        """Charge ``cost`` to a gateway CPU; returns the queue depth.
+
+        Depth is sampled atomically with the request — the queue this
+        forward actually joins, counting itself — so fast and legacy
+        paths report identical ``qdepth`` even when several forwards
+        arrive at the same instant.
+        """
+        gw = self.gateways[cluster].cpu
+        qd = gw.queue_length + gw.in_use + 1
+        yield gw.request()
+        try:
+            yield self.sim.timeout(cost)
+        finally:
+            gw.release()
+        return qd
+
+    def _access_leg_up(self, size: int, src_cluster: int,
+                       msg_id: int = -1) -> Generator:
+        """Node -> local gateway over the shared access link.
+
+        Takes ``(size, src_cluster)`` directly — fan-out paths share one
+        access-link trip among many deliveries and must not fabricate a
+        :class:`Message` (which would burn a ``msg_id`` and skew the
+        run-local id-reset determinism guarantees) just to ride the leg.
+        """
         access = self.params.access
-        tx = msg.size / access.bandwidth
-        src_cluster = self.topo.cluster_of(msg.src)
+        tx = size / access.bandwidth
         yield self.sim.spawn(self._occupy(self._gw_access[src_cluster], tx,
-                                          "access", msg.size, msg_id))
+                                          "access", size, msg_id))
         yield self.sim.timeout(access.latency)
 
     def _access_leg_down(self, msg: Message, dst: int) -> Generator:
@@ -321,7 +767,8 @@ class Fabric:
     def _deliver_wan(self, msg: Message) -> Generator:
         src_cluster = self.topo.cluster_of(msg.src)
         dst_cluster = self.topo.cluster_of(msg.dst)
-        yield self.sim.spawn(self._access_leg_up(msg, msg.msg_id))
+        yield self.sim.spawn(self._access_leg_up(msg.size, src_cluster,
+                                                 msg.msg_id))
         yield self.sim.spawn(self._wan_leg(msg.size, src_cluster, dst_cluster,
                                            msg.msg_id))
         yield self.sim.spawn(self._access_leg_down(msg, msg.dst))
@@ -357,9 +804,7 @@ class Fabric:
     def _deliver_wan_fanout(self, src: int, src_cluster: int,
                             remote: List[int], size: int, payload: Any,
                             port: str, kind: str) -> Generator:
-        fake = Message(src=src, dst=src, size=size, payload=payload,
-                       port=port, kind=kind)
-        yield self.sim.spawn(self._access_leg_up(fake))
+        yield self.sim.spawn(self._access_leg_up(size, src_cluster))
         legs = [self.sim.spawn(
             self._wan_leg_and_remote_multicast(src, src_cluster, c, size,
                                                payload, port, kind))
@@ -397,9 +842,7 @@ class Fabric:
     def _deliver_wan_multicast(self, src: int, dst_cluster: int, size: int,
                                payload: Any, port: str, kind: str) -> Generator:
         src_cluster = self.topo.cluster_of(src)
-        fake = Message(src=src, dst=src, size=size, payload=payload,
-                       port=port, kind=kind)
-        yield self.sim.spawn(self._access_leg_up(fake))
+        yield self.sim.spawn(self._access_leg_up(size, src_cluster))
         n = yield self.sim.spawn(
             self._wan_leg_and_remote_multicast(src, src_cluster, dst_cluster,
                                                size, payload, port, kind))

@@ -44,6 +44,7 @@ from .profile import (
     PROFILE_KINDS,
     BottleneckReport,
     format_bottleneck,
+    format_profile_diff,
     format_profile_table,
     profile_app,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "PROFILE_KINDS",
     "BottleneckReport",
     "format_bottleneck",
+    "format_profile_diff",
     "format_profile_table",
     "profile_app",
     "KINDS",

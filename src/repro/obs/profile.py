@@ -32,7 +32,8 @@ from .analyzers import (
 from .schema import KINDS
 
 __all__ = ["PROFILE_KINDS", "BottleneckReport", "profile_app",
-           "format_bottleneck", "format_profile_table"]
+           "format_bottleneck", "format_profile_table",
+           "format_profile_diff"]
 
 #: The kinds the profiler records.  High-volume per-event kinds that the
 #: analyzers do not consume (process lifecycle, per-copy message
@@ -177,6 +178,58 @@ def format_bottleneck(report: BottleneckReport) -> str:
         for node, w in waiters:
             lines.append(f"    node {node:>3}: rpc {w['rpc']:.4f}s, "
                          f"bcast {w['bcast']:.4f}s, seq {w['seq']:.4f}s")
+    return "\n".join(lines)
+
+
+def _delta(before: float, after: float) -> str:
+    """Relative change, rendered for humans (guarding a zero baseline)."""
+    if before == 0:
+        return "new" if after > 0 else "-"
+    change = (after - before) / before
+    return f"{change:+.0%}"
+
+
+def format_profile_diff(before: BottleneckReport,
+                        after: BottleneckReport) -> str:
+    """Side-by-side diff of two runs of one app (``repro profile --diff``).
+
+    The paper's whole argument is a before/after: each application is
+    profiled as ``original``, restructured, and profiled again.  This
+    renders that comparison directly — elapsed, the per-mechanism
+    intercluster seconds, CPU utilization and gateway pressure — so the
+    effect of an optimization shows up as a column of deltas instead of
+    two blocks to eyeball.
+    """
+    head = (f"{before.app} on {before.n_clusters}x"
+            f"{before.nodes_per_cluster}: {before.variant} vs "
+            f"{after.variant}")
+    col_a, col_b = before.variant[:13], after.variant[:13]
+    lines = [head,
+             f"  {'':<22} {col_a:>13} {col_b:>13} {'delta':>7}",
+             f"  {'elapsed (s)':<22} {before.elapsed:>13.4f} "
+             f"{after.elapsed:>13.4f} "
+             f"{_delta(before.elapsed, after.elapsed):>7}"]
+    keys = sorted(set(before.categories) | set(after.categories),
+                  key=lambda k: -before.categories.get(k, 0.0))
+    if keys:
+        lines.append("  intercluster seconds by mechanism "
+                     "(attributions overlap):")
+        for key in keys:
+            a = before.categories.get(key, 0.0)
+            b = after.categories.get(key, 0.0)
+            lines.append(f"    {key:<20} {a:>13.4f} {b:>13.4f} "
+                         f"{_delta(a, b):>7}")
+    lines.append(f"  {'CPU busy (mean)':<22} {_pct(before.cpu_mean):>13} "
+                 f"{_pct(after.cpu_mean):>13}")
+    lines.append(f"  {'gateway peak depth':<22} "
+                 f"{before.gateway_peak[1]:>13} "
+                 f"{after.gateway_peak[1]:>13}")
+    wa, wb = before.timeline.busiest("wan"), after.timeline.busiest("wan")
+    if wa is not None or wb is not None:
+        fa = f"{wa[0]} {_pct(wa[1])}" if wa is not None else "-"
+        fb = f"{wb[0]} {_pct(wb[1])}" if wb is not None else "-"
+        lines.append(f"  {'busiest PVC':<22} {fa:>13} {fb:>13}")
+    lines.append(f"  dominant: {before.narrative}  ->  {after.narrative}")
     return "\n".join(lines)
 
 

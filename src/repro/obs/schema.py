@@ -199,6 +199,17 @@ KINDS: Dict[str, KindSpec] = {spec.name: spec for spec in [
           node=("int", "applying node id"),
           seq=("int", "global sequence number"),
           sender=("int", "issuing node id")),
+    # ------------------------------------- sweep harness (host-side)
+    # The one host-side kind: ``time`` is host seconds since the batch
+    # started, not virtual time (a sweep spans many simulations).
+    _spec("sweep.point", "repro.harness.sweeps", False,
+          "one sweep grid point finished (host-side timing)",
+          app=("str", "application registry name"),
+          variant=("str", "application variant"),
+          clusters=("int", "cluster count of the grid point"),
+          nodes=("int", "nodes per cluster of the grid point"),
+          host_s=("float", "host wall-clock seconds the point took"),
+          cached=("bool", "True when served from the result cache")),
 ]}
 
 #: Names of the span kinds (records carrying ``t0``/``dur``).

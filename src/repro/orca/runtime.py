@@ -121,7 +121,11 @@ class OrcaRuntime:
     # ------------------------------------------------------------ execution
 
     def _charge(self, node: int, seconds: float) -> Generator:
-        yield self.sim.spawn(self.fabric.nodes[node].cpu.execute(seconds))
+        cpu = self.fabric.nodes[node].cpu
+        if self.fabric.fast_paths:
+            yield cpu.execute_ev(seconds)
+        else:
+            yield self.sim.spawn(cpu.execute(seconds))
 
     def _execute_blocking(self, node: int, replica: Replica, op_name: str,
                           args: tuple) -> Generator:
@@ -349,10 +353,16 @@ class Context:
         q = quantum if quantum is not None else self.COMPUTE_QUANTUM
         cpu = self.rts.fabric.nodes[self.node].cpu
         remaining = seconds
-        while remaining > 0:
-            step = remaining if remaining <= q else q
-            yield self.sim.spawn(cpu.execute(step, priority=1))
-            remaining -= step
+        if self.rts.fabric.fast_paths:
+            while remaining > 0:
+                step = remaining if remaining <= q else q
+                yield cpu.execute_ev(step, priority=1)
+                remaining -= step
+        else:
+            while remaining > 0:
+                step = remaining if remaining <= q else q
+                yield self.sim.spawn(cpu.execute(step, priority=1))
+                remaining -= step
 
     def sleep(self, seconds: float) -> Generator:
         """Idle wait (no CPU occupancy)."""

@@ -9,6 +9,8 @@ from .engine import (
     SimulationError,
     Simulator,
     Timeout,
+    chain,
+    fire,
 )
 from .primitives import CPU, Barrier, Channel, Resource
 from .rng import derive_seed, substream
@@ -23,6 +25,8 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timeout",
+    "chain",
+    "fire",
     "CPU",
     "Barrier",
     "Channel",

@@ -24,6 +24,8 @@ __all__ = [
     "Simulator",
     "Interrupt",
     "SimulationError",
+    "chain",
+    "fire",
 ]
 
 
@@ -340,8 +342,20 @@ class Simulator:
         """Run ``fn`` at absolute virtual time ``when`` (>= now)."""
         if when < self.now:
             raise SimulationError(f"call_at past time {when} < now {self.now}")
-        ev = Timeout(self, when - self.now)
+        ev = self.timeout(when - self.now)
         ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    def after(self, delay: float, fn: Callable[[Event], None],
+              value: Any = None) -> Timeout:
+        """Schedule ``fn(event)`` to run ``delay`` virtual seconds from now.
+
+        The callback-chain counterpart of ``yield sim.timeout(delay)``: one
+        heap entry, no generator.  Returns the timeout so further callbacks
+        can be chained onto the same instant.
+        """
+        ev = self.timeout(delay, value)
+        ev.callbacks.append(fn)
         return ev
 
     # -- introspection ----------------------------------------------------
@@ -442,3 +456,43 @@ class Simulator:
         if not proc._ok:
             raise proc._value
         return proc._value
+
+
+def fire(ev: Event, value: Any = None) -> None:
+    """Trigger ``ev`` and run its callbacks inline, bypassing the heap.
+
+    Equivalent to ``ev.succeed(value)`` followed immediately by the heap
+    pop that would dispatch it — sound only when nothing else is
+    scheduled at the current instant, so the skipped dispatch could not
+    have interleaved with anything.  The fabric's fast paths use it to
+    complete occupancies at quiet instants (checking the heap first); at
+    busy instants they post through the heap like everything else.
+    """
+    if ev._value is not PENDING:
+        raise SimulationError("event already triggered")
+    ev._value = value
+    ev._ok = True
+    ev._scheduled = True
+    callbacks = ev.callbacks
+    ev.callbacks = None
+    if callbacks is not None:
+        for cb in callbacks:
+            cb(ev)
+
+
+def chain(ev: Event, fn: Callable[[Event], None]) -> Event:
+    """Run ``fn(ev)`` when ``ev`` fires (immediately if already processed).
+
+    The building block of callback-chained state machines: where a
+    generator would ``yield ev`` and resume, a chain appends the next
+    step as a callback — no process object, no generator frame.  An
+    event that has already fired *and* been dispatched off the heap has
+    ``callbacks is None``; its value is final, so the continuation runs
+    inline.
+    """
+    cbs = ev.callbacks
+    if cbs is None:
+        fn(ev)
+    else:
+        cbs.append(fn)
+    return ev

@@ -1,0 +1,181 @@
+"""Golden equivalence: the fabric fast paths vs the process-per-leg legacy.
+
+The event-minimizing message path (callback-chained fabric legs,
+``Resource.occupy`` analytic holds) is a *host-time* optimization: the
+determinism contract in ``ARCHITECTURE.md`` promises that every
+application produces bit-identical virtual-time results either way —
+same answer, same elapsed time, same traffic counters, and, with
+tracing on, the *same trace records in the same order*.
+
+This suite pins that contract two ways:
+
+* a golden sweep of all eight paper applications over single-cluster,
+  two-cluster and four-cluster topologies, comparing a fast-path run
+  against a legacy run record-for-record;
+* hypothesis property tests that drive :meth:`Resource.occupy` and
+  :meth:`CPU.execute_ev` against the explicit request/timeout/release
+  process pattern under random contention and assert identical
+  completion times and busy-time accounting.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import PAPER_ORDER, make_app, small_params
+from repro.harness.experiment import run_app
+from repro.sim import CPU, Resource, Simulator, Tracer
+
+#: One small, one medium, one wide topology — exercises the self, LAN
+#: and WAN delivery paths plus gateway multicast fan-out.
+TOPOLOGIES = [(1, 4), (2, 3), (4, 2)]
+
+#: Process-lifecycle records are the one intended difference: the fast
+#: paths exist precisely to not spawn a process per message leg.
+PROCESS_KINDS = {"proc.spawn", "proc.finish"}
+
+
+def _eq(a, b):
+    """Structural equality that tolerates numpy answers."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(a, b)
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_eq(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_eq(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+def _traced_run(app_name, fast, n_clusters, nodes_per_cluster):
+    app = make_app(app_name)
+    tracer = Tracer()
+    result = run_app(app, app.variants[0], n_clusters, nodes_per_cluster,
+                     small_params(app_name), trace=True, tracer=tracer,
+                     fast_paths=fast)
+    records = [(r.time, r.kind, tuple(sorted(r.detail.items())))
+               for r in tracer.records if r.kind not in PROCESS_KINDS]
+    return result, records
+
+
+@pytest.mark.parametrize("app_name", PAPER_ORDER)
+def test_fast_paths_bit_identical(app_name):
+    for n_clusters, nodes in TOPOLOGIES:
+        fast, fast_recs = _traced_run(app_name, True, n_clusters, nodes)
+        legacy, legacy_recs = _traced_run(app_name, False, n_clusters, nodes)
+        label = f"{app_name} {n_clusters}x{nodes}"
+        assert _eq(fast.answer, legacy.answer), label
+        assert fast.elapsed == legacy.elapsed, label
+        assert fast.traffic == legacy.traffic, label  # incl. WAN bytes
+        # Strict: same records, same order, same times, same fields.
+        assert fast_recs == legacy_recs, label
+
+
+def test_fast_paths_identical_untraced():
+    """The contract holds with tracing off too (the default fast tier)."""
+    for fast in (True, False):
+        result = run_app(make_app("tsp"), "original", 2, 2,
+                         small_params("tsp"), fast_paths=fast)
+        if fast:
+            reference = result
+    assert _eq(reference.answer, result.answer)
+    assert reference.elapsed == result.elapsed
+    assert reference.traffic == result.traffic
+
+
+# --------------------------------------------------------------------------
+# Property tests: occupy() == request/timeout/release under contention.
+
+#: (start, hold, priority) triples.  Integer-derived floats keep the
+#: arithmetic identical between the two executions; equal starts and
+#: zero-length holds are the interesting collision cases.
+_JOBS = st.lists(
+    st.tuples(st.integers(0, 6).map(lambda t: t * 0.5),     # start
+              st.integers(0, 8).map(lambda d: d * 0.25),    # hold
+              st.integers(0, 1)),                           # priority
+    min_size=1, max_size=12)
+
+
+def _via_occupy(capacity, jobs):
+    sim = Simulator()
+    res = Resource(sim, capacity)
+    done = [None] * len(jobs)
+
+    def launch(i, hold, priority):
+        ev = res.occupy(hold, priority)
+        ev.callbacks.append(lambda _e, i=i: done.__setitem__(i, sim.now))
+
+    for i, (start, hold, priority) in enumerate(jobs):
+        sim.after(start, lambda _e, i=i, h=hold, p=priority: launch(i, h, p))
+    sim.run()
+    return done, res.busy_time(), res.in_use
+
+
+def _via_process(capacity, jobs):
+    """The pattern ``occupy`` replaced: spawn a request/hold/release
+    process at the start instant.  (Parity is with a freshly *spawned*
+    process — spawn posts a bootstrap event, so the request lands one
+    dispatch after the call, exactly where ``occupy`` defers its
+    request at busy instants.)"""
+    sim = Simulator()
+    res = Resource(sim, capacity)
+    done = [None] * len(jobs)
+
+    def worker(i, hold, priority):
+        yield res.request(priority)
+        try:
+            yield sim.timeout(hold)
+        finally:
+            res.release()
+        done[i] = sim.now
+
+    for i, (start, hold, priority) in enumerate(jobs):
+        sim.after(start, lambda _e, i=i, h=hold, p=priority:
+                  sim.spawn(worker(i, h, p)))
+    sim.run()
+    return done, res.busy_time(), res.in_use
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 3), _JOBS)
+def test_occupy_matches_process_pattern(capacity, jobs):
+    fast_done, fast_busy, fast_in_use = _via_occupy(capacity, jobs)
+    slow_done, slow_busy, slow_in_use = _via_process(capacity, jobs)
+    assert fast_done == slow_done
+    assert fast_busy == slow_busy
+    assert fast_in_use == slow_in_use == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 5).map(lambda d: d * 0.125),
+                          st.integers(0, 1)),
+                min_size=1, max_size=8))
+def test_execute_ev_matches_execute(charges):
+    """``CPU.execute_ev`` holds the CPU exactly like ``CPU.execute``."""
+    def waiter(ev):
+        yield ev
+
+    def via_ev():
+        sim = Simulator()
+        cpu = CPU(sim)
+        for seconds, priority in charges:
+            sim.spawn(waiter(cpu.execute_ev(seconds, priority)))
+        sim.run()
+        return sim.now, cpu.busy_time()
+
+    def via_gen():
+        sim = Simulator()
+        cpu = CPU(sim)
+        for seconds, priority in charges:
+            sim.spawn(cpu.execute(seconds, priority))
+        sim.run()
+        return sim.now, cpu.busy_time()
+
+    assert via_ev() == via_gen()
+
+
+def test_occupy_rejects_negative():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    from repro.sim import SimulationError
+    with pytest.raises(SimulationError):
+        res.occupy(-1.0)

@@ -397,3 +397,37 @@ def test_cli_figure_with_trace_dir(tmp_path, capsys):
     assert files
     with open(files[0], encoding="utf-8") as fh:
         assert json.load(fh)["traceEvents"]
+
+
+# ------------------------------------------------------- sweep.point
+
+def test_sweep_point_records_and_stragglers(tmp_path):
+    from repro.harness import format_stragglers
+    from repro.obs.schema import validate_records
+
+    cache = ResultCache(str(tmp_path / "points-cache"))
+    specs = _grid_specs()
+    runner = ParallelRunner(jobs=1, cache=cache)
+    runner.run(specs)
+    points = runner.point_records
+    assert len(points) == len(specs)
+    assert not validate_records(points)  # the host-side kind is in-schema
+    assert all(r.kind == "sweep.point" and not r.detail["cached"]
+               for r in points)
+    text = format_stragglers(points)
+    assert f"{len(specs)} points" in text and "0 cached" in text
+    assert "x2" in text  # at least one "{app}/{variant} CxN" line
+
+    warm = ParallelRunner(jobs=1, cache=cache)
+    warm.run(specs)
+    assert all(r.detail["cached"] for r in warm.point_records)
+    assert f"{len(specs)} cached" in format_stragglers(warm.point_records)
+
+
+def test_sweep_points_recorded_under_pool():
+    specs = [RunSpec("tsp", "original", c, 2, small_params("tsp"))
+             for c in (1, 2)]
+    runner = ParallelRunner(jobs=2)
+    runner.run(specs)
+    assert len(runner.point_records) == len(specs)
+    assert all(r.detail["host_s"] > 0 for r in runner.point_records)

@@ -12,6 +12,7 @@ from repro.obs.analyzers import BREAKDOWN_NARRATIVE
 from repro.obs.profile import (
     PROFILE_KINDS,
     format_bottleneck,
+    format_profile_diff,
     format_profile_table,
     profile_app,
 )
@@ -65,6 +66,29 @@ def test_profile_table_renders_one_row_per_report():
     assert len(table.splitlines()) == 3  # header + 2 rows
 
 
+def test_format_profile_diff_renders_both_variants():
+    params = small_params("tsp")
+    before = profile_app("tsp", "original", 2, 2, params=params)
+    after = profile_app("tsp", "optimized", 2, 2, params=params)
+    text = format_profile_diff(before, after)
+    assert "original" in text and "optimized" in text
+    assert "elapsed" in text and "delta" in text
+    for key in set(before.categories) | set(after.categories):
+        assert key in text
+    # The diff names both dominant mechanisms.
+    assert before.narrative in text and after.narrative in text
+
+
+def test_format_profile_diff_zero_baseline_category():
+    params = small_params("asp")
+    before = profile_app("asp", "original", 1, 2, params=params)
+    after = profile_app("asp", "original", 2, 2, params=params)
+    # Single-cluster runs attribute no intercluster time; a category
+    # appearing only in the after column renders as "new", not a crash.
+    text = format_profile_diff(before, after)
+    assert "new" in text or all(v == 0 for v in after.categories.values())
+
+
 # ----------------------------------------------- trace non-interference
 
 @pytest.mark.parametrize("app_name", ["tsp", "asp", "ra"])
@@ -88,6 +112,15 @@ def test_cli_profile(capsys, monkeypatch):
     out = capsys.readouterr().out
     assert "dominant wide-area cost" in out
     assert "trace records" in out
+
+
+def test_cli_profile_diff(capsys, monkeypatch):
+    monkeypatch.setattr("repro.harness.figures.bench_params", small_params)
+    assert main(["profile", "tsp", "--clusters", "2", "--nodes", "2",
+                 "--diff", "original", "optimized"]) == 0
+    out = capsys.readouterr().out
+    assert "original vs optimized" in out
+    assert "delta" in out
 
 
 def test_cli_trace_chrome(tmp_path, capsys, monkeypatch):
