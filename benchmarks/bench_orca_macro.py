@@ -1,0 +1,92 @@
+"""Macro-benchmark: whole applications per second, fast vs legacy tiers.
+
+Where ``bench_orca_micro`` isolates single control-plane operations,
+this runs complete paper applications (test-sized problems) end to end
+through ``run_app`` and reports host-side runs per second in both
+tiers.  It answers the question the micro numbers cannot: how much of
+a *real* app's host time the callback-chained fabric + control plane
+actually saves, with application compute, barriers and mixed traffic
+in the loop.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_orca_macro.py [--repeat 3]
+
+or under pytest-benchmark along with the rest of the suite.  Results
+are persisted to ``benchmarks/out/bench_orca_macro.txt`` and folded
+into the committed ``BENCH_orca.json`` by ``repro bench --write``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.apps import make_app, small_params
+from repro.harness.experiment import run_app
+
+#: (label, app, n_clusters, nodes_per_cluster) — one broadcast-heavy
+#: app, one RPC/job-queue app, one message-passing app.
+APPS = [
+    ("asp_2x3", "asp", 2, 3),
+    ("tsp_2x3", "tsp", 2, 3),
+    ("sor_2x3", "sor", 2, 3),
+]
+
+MODES = (("fast", True), ("legacy", False))
+
+
+def _run(app_name: str, n_clusters: int, per: int, fast: bool):
+    app = make_app(app_name)
+    return run_app(app, app.variants[0], n_clusters, per,
+                   small_params(app_name), fast_paths=fast)
+
+
+def run_suite(repeat: int = 3, modes=MODES):
+    """Return ``(text, data)``: a printable table and per-app runs/s."""
+    labels = [label for label, _fp in modes]
+    header = f"{'app':>12}" + "".join(f" {l + ' runs/s':>14}"
+                                      for l in labels)
+    if len(labels) > 1:
+        header += f" {'speedup':>9}"
+    lines = ["orca macro-benchmark: whole-app host throughput", header]
+    data = {}
+    for name, app_name, n_clusters, per in APPS:
+        entry = {}
+        for label, fp in modes:
+            best = float("inf")
+            for _ in range(repeat):
+                t0 = time.perf_counter()
+                _run(app_name, n_clusters, per, fp)
+                best = min(best, time.perf_counter() - t0)
+            entry[label] = 1.0 / best
+        row = f"{name:>12}" + "".join(f" {entry[l]:>14.2f}" for l in labels)
+        if "fast" in entry and "legacy" in entry:
+            entry["speedup"] = entry["fast"] / entry["legacy"]
+            row += f" {entry['speedup']:>8.2f}x"
+        data[name] = entry
+        lines.append(row)
+    return "\n".join(lines), data
+
+
+def test_orca_macro(benchmark):
+    """pytest-benchmark entry point: one pass over every app."""
+    from conftest import emit, run_once
+
+    text, _data = run_once(benchmark, lambda: run_suite(repeat=1))
+    emit("bench_orca_macro", text)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per app (best is reported)")
+    args = parser.parse_args(argv)
+    text, _data = run_suite(repeat=args.repeat)
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

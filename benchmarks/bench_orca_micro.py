@@ -1,0 +1,184 @@
+"""Micro-benchmark for the Orca control plane: broadcasts and RPCs per second.
+
+Measures *host* wall-clock throughput of whole Orca operations —
+totally-ordered broadcasts (PB and BB dissemination modes, LAN and WAN)
+and RPC round trips — in both control-plane tiers: the default callback
+chains (armed broadcast/RPC ports, holdback drain, ``try_acquire``
+analytic stamps, chained dissemination and replies) and the legacy
+generator/process tier (``fast_paths=False``, which also selects the
+fabric's process-per-leg paths).  The golden suites pin the two tiers
+bit-identical in virtual time, so the speedup column is pure host-side
+overhead reduction.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_orca_micro.py [--repeat 3]
+    PYTHONPATH=src python benchmarks/bench_orca_micro.py --legacy
+
+or under pytest-benchmark along with the rest of the suite.  Results are
+persisted to ``benchmarks/out/bench_orca_micro.txt``; ``repro bench``
+(tools/bench_report.py) folds them into the committed ``BENCH_orca
+.json`` the CI perf-smoke job regresses against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.network import DAS_PARAMS, Fabric, uniform_clusters
+from repro.network.message import reset_ids
+from repro.orca import ObjectSpec, Operation, OrcaRuntime
+from repro.orca.broadcast import BB_THRESHOLD
+from repro.orca.runtime import reset_req_ids
+from repro.sim import Simulator
+
+#: Comfortably inside PB mode; BB workloads use BB_THRESHOLD itself.
+PB_BYTES = 64
+
+
+def _mk(fast: bool, n_clusters: int, per: int, sequencer: str):
+    reset_ids()
+    reset_req_ids()
+    sim = Simulator()
+    fabric = Fabric(sim, uniform_clusters(n_clusters, per), DAS_PARAMS,
+                    fast_paths=fast)
+    # The runtime tier follows the fabric tier (the default inherit).
+    return sim, OrcaRuntime(sim, fabric, sequencer=sequencer)
+
+
+def _bcast_workload(fast: bool, n: int, n_clusters: int, per: int,
+                    size: int, sequencer: str = "distributed") -> int:
+    """``n`` ordered writes from node 1 (so PB mode genuinely ships the
+    operation to the cluster's stamping node 0); counted per broadcast."""
+    sim, rts = _mk(fast, n_clusters, per, sequencer)
+    rts.register(ObjectSpec(
+        name="counter", state_factory=lambda: [0],
+        operations={"add": Operation(
+            fn=lambda st, v: st.__setitem__(0, st[0] + v),
+            writes=True, arg_bytes=size, result_bytes=8)},
+        replicated=True))
+
+    def sender():
+        for i in range(n):
+            yield from rts.invoke(1, "counter", "add", (1,))
+
+    sim.run_process(sender())
+    assert rts.state_of("counter")[0] == n
+    return n
+
+
+def _rpc_workload(fast: bool, n: int, n_clusters: int, per: int,
+                  caller: int) -> int:
+    """``n`` read RPC round trips to a non-replicated object on node 0."""
+    sim, rts = _mk(fast, n_clusters, per, sequencer="centralized")
+    rts.register(ObjectSpec(
+        name="cell", state_factory=lambda: [7],
+        operations={"get": Operation(fn=lambda st: st[0],
+                                     arg_bytes=8, result_bytes=8)},
+        replicated=False, owner=0))
+
+    def client():
+        for _ in range(n):
+            got = yield from rts.invoke(caller, "cell", "get", ())
+            assert got == 7
+
+    sim.run_process(client())
+    return n
+
+
+def wl_bcast_pb(fast: bool, n: int = 2_000) -> int:
+    """Single-cluster PB broadcasts: ship to sequencer, it disseminates."""
+    return _bcast_workload(fast, n, 1, 4, PB_BYTES)
+
+
+def wl_bcast_bb(fast: bool, n: int = 2_000) -> int:
+    """Single-cluster BB broadcasts: tiny seq request, sender disseminates."""
+    return _bcast_workload(fast, n, 1, 4, BB_THRESHOLD)
+
+
+def wl_bcast_wan(fast: bool, n: int = 800) -> int:
+    """Two-cluster PB broadcasts: LAN multicast + WAN fan-out delivery."""
+    return _bcast_workload(fast, n, 2, 3, PB_BYTES)
+
+
+def wl_rpc_lan(fast: bool, n: int = 4_000) -> int:
+    """Uncontended same-cluster RPC round trips."""
+    return _rpc_workload(fast, n, 1, 4, caller=1)
+
+
+def wl_rpc_wan(fast: bool, n: int = 1_500) -> int:
+    """Cross-cluster RPC round trips (access links, gateways, PVC)."""
+    return _rpc_workload(fast, n, 2, 3, caller=3)
+
+
+WORKLOADS = [
+    ("bcast_pb", wl_bcast_pb),
+    ("bcast_bb", wl_bcast_bb),
+    ("bcast_wan", wl_bcast_wan),
+    ("rpc_lan", wl_rpc_lan),
+    ("rpc_wan", wl_rpc_wan),
+]
+
+MODES = (("fast", True), ("legacy", False))
+
+
+def run_suite(repeat: int = 3, modes=MODES):
+    """Return ``(text, data)``: a printable table and per-workload ops/s."""
+    labels = [label for label, _fp in modes]
+    header = f"{'workload':>12}" + "".join(f" {l + ' op/s':>14}"
+                                           for l in labels)
+    if len(labels) > 1:
+        header += f" {'speedup':>9}"
+    lines = ["orca micro-benchmark: broadcast/RPC throughput", header]
+    data = {}
+    for name, fn in WORKLOADS:
+        entry = {}
+        for label, fp in modes:
+            best = float("inf")
+            ops = 0
+            for _ in range(repeat):
+                t0 = time.perf_counter()
+                ops = fn(fp)
+                dt = time.perf_counter() - t0
+                best = min(best, dt)
+            entry[label] = ops / best
+        row = f"{name:>12}" + "".join(f" {entry[l]:>14.0f}" for l in labels)
+        if "fast" in entry and "legacy" in entry:
+            entry["speedup"] = entry["fast"] / entry["legacy"]
+            row += f" {entry['speedup']:>8.2f}x"
+        data[name] = entry
+        lines.append(row)
+    return "\n".join(lines), data
+
+
+def test_orca_micro(benchmark):
+    """pytest-benchmark entry point: one pass over every workload."""
+    from conftest import emit, run_once
+
+    text, _data = run_once(benchmark, lambda: run_suite(repeat=1))
+    emit("bench_orca_micro", text)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per workload (best is reported)")
+    parser.add_argument("--legacy", action="store_true",
+                        help="measure only the legacy generator tier")
+    parser.add_argument("--fast", action="store_true",
+                        help="measure only the fast callback tier")
+    args = parser.parse_args(argv)
+    modes = MODES
+    if args.legacy:
+        modes = (("legacy", False),)
+    elif args.fast:
+        modes = (("fast", True),)
+    text, _data = run_suite(repeat=args.repeat, modes=modes)
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

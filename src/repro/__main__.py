@@ -16,6 +16,8 @@ Examples::
     python -m repro figure fig5 --jobs 4 --trace-dir traces \
         --trace-ring 20000                    # traced parallel sweep
     python -m repro cache clear               # drop the result cache
+    python -m repro bench --check             # regress vs BENCH_*.json
+    python -m repro bench --write --suite orca  # refresh one baseline
 
 Experiment commands accept ``--jobs N`` (or the ``REPRO_JOBS`` env var)
 to fan the independent simulations of a figure or table out over a
@@ -311,6 +313,16 @@ def cmd_chains(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Measure throughput and write/check the committed perf baselines."""
+    from .harness import bench
+
+    suites = sorted(bench.SUITES) if args.suite == "all" else [args.suite]
+    if args.write:
+        return bench.write_baselines(args.repeat, suites)
+    return bench.check_baselines(args.repeat, args.threshold, suites)
+
+
 def cmd_cache(args) -> int:
     """Inspect or clear the on-disk sweep result cache."""
     cache = ResultCache()
@@ -428,6 +440,23 @@ def main(argv=None) -> int:
     p_chains.add_argument("--limit", type=int, default=5, metavar="N",
                           help="slowest intercluster chains to print")
 
+    p_bench = sub.add_parser(
+        "bench", help="measure host throughput and write/check the "
+                      "committed BENCH_*.json perf baselines (the CI "
+                      "perf-smoke entry point)")
+    b_mode = p_bench.add_mutually_exclusive_group(required=True)
+    b_mode.add_argument("--write", action="store_true",
+                        help="measure and (over)write the baselines")
+    b_mode.add_argument("--check", action="store_true",
+                        help="measure and fail on >threshold regressions")
+    p_bench.add_argument("--repeat", type=int, default=3,
+                         help="repetitions per workload (best is reported)")
+    p_bench.add_argument("--threshold", type=float, default=0.30,
+                         help="allowed fractional drop vs baseline (0.30)")
+    p_bench.add_argument("--suite", choices=["all", "engine", "fabric",
+                                             "orca"], default="all",
+                         help="restrict to one baseline suite")
+
     p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
     p_cache.add_argument("action", choices=["info", "clear"], nargs="?",
                          default="info")
@@ -435,7 +464,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     commands = {"list": cmd_list, "table": cmd_table, "figure": cmd_figure,
                 "app": cmd_app, "profile": cmd_profile, "trace": cmd_trace,
-                "chains": cmd_chains, "cache": cmd_cache}
+                "chains": cmd_chains, "cache": cmd_cache,
+                "bench": cmd_bench}
     try:
         return commands[args.command](args)
     except _CLIError as exc:

@@ -52,6 +52,8 @@ class AppResult:
     utilization: Any = None        # UtilizationReport when requested
     trace_records: Any = None      # List[TraceRecord] when the run was
                                    # traced through the sweep harness
+    sim_stats: Any = None          # Simulator.stats() snapshot (event,
+                                   # spawn, fast-path/fallback counters)
 
     @property
     def n_nodes(self) -> int:

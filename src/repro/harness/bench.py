@@ -1,0 +1,220 @@
+"""Throughput measurement against the committed perf baselines.
+
+One entry point shared by humans and CI: the ``repro bench`` verb and
+the ``tools/bench_report.py`` shim both call :func:`main` here.  The
+repo commits three small JSON files at its root:
+
+* ``BENCH_engine.json`` — events/s per engine micro-workload
+* ``BENCH_fabric.json`` — messages/s per fabric path (fast tier)
+* ``BENCH_orca.json``   — broadcasts/RPCs/s per control-plane workload
+  (fast tier, micro) plus whole-app runs/s (macro)
+
+``--write`` refreshes them from a local run (do this on the machine
+that defines the baseline, typically CI hardware, after a deliberate
+perf change).  ``--check`` re-measures and prints a per-metric delta
+table, failing if any workload dropped more than ``--threshold``
+(default 30%) below its committed number — the CI perf-smoke job runs
+this so event-path regressions surface in review rather than in a 10x
+slower figure sweep three PRs later.
+
+Run from the repo root::
+
+    PYTHONPATH=src python -m repro bench --write
+    PYTHONPATH=src python -m repro bench --check
+    PYTHONPATH=src python -m repro bench --check --suite orca
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["main", "measure_engine", "measure_fabric", "measure_orca",
+           "write_baselines", "check_baselines", "SUITES"]
+
+ROOT = pathlib.Path(__file__).resolve().parents[3]
+
+ENGINE_JSON = ROOT / "BENCH_engine.json"
+FABRIC_JSON = ROOT / "BENCH_fabric.json"
+ORCA_JSON = ROOT / "BENCH_orca.json"
+
+
+def _import_benchmarks() -> None:
+    """Make the repo's ``benchmarks/`` modules importable."""
+    bdir = str(ROOT / "benchmarks")
+    if bdir not in sys.path:
+        sys.path.insert(0, bdir)
+
+
+# ------------------------------------------------------------- measurement
+
+def measure_engine(repeat: int = 3) -> dict:
+    """Events/s per engine micro-workload (see bench_engine_micro)."""
+    _import_benchmarks()
+    from bench_engine_micro import WORKLOADS, _events_processed
+
+    results = {}
+    total_events = 0
+    total_best = 0.0
+    for name, fn in WORKLOADS:
+        best = float("inf")
+        events = 0
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            sim, approx = fn()
+            dt = time.perf_counter() - t0
+            events = _events_processed(sim, approx)
+            best = min(best, dt)
+        total_events += events
+        total_best += best
+        results[name] = round(events / best)
+    results["TOTAL"] = round(total_events / total_best)
+    return results
+
+
+def measure_fabric(repeat: int = 3) -> dict:
+    """Messages/s per fabric path, fast tier plus the fast/legacy ratio."""
+    _import_benchmarks()
+    from bench_fabric_micro import run_suite
+
+    _text, data = run_suite(repeat=repeat)
+    return {name: {"msgs_per_s": round(entry["fast"]),
+                   "speedup_vs_legacy": round(entry["speedup"], 2)}
+            for name, entry in data.items()}
+
+
+def measure_orca(repeat: int = 3) -> dict:
+    """Orca control-plane throughput: micro (broadcasts/RPCs per second)
+    and macro (whole apps per second), fast tier plus fast/legacy ratio."""
+    _import_benchmarks()
+    from bench_orca_macro import run_suite as run_macro
+    from bench_orca_micro import run_suite as run_micro
+
+    results = {}
+    _text, micro = run_micro(repeat=repeat)
+    for name, entry in micro.items():
+        results[f"micro/{name}"] = {
+            "ops_per_s": round(entry["fast"]),
+            "speedup_vs_legacy": round(entry["speedup"], 2)}
+    _text, macro = run_macro(repeat=repeat)
+    for name, entry in macro.items():
+        results[f"macro/{name}"] = {
+            "ops_per_s": round(entry["fast"], 2),
+            "speedup_vs_legacy": round(entry["speedup"], 2)}
+    return results
+
+
+def _flat_engine(results: dict) -> Dict[str, float]:
+    return dict(results)
+
+
+def _flat_fabric(results: dict) -> Dict[str, float]:
+    return {k: v["msgs_per_s"] for k, v in results.items()}
+
+
+def _flat_orca(results: dict) -> Dict[str, float]:
+    return {k: v["ops_per_s"] for k, v in results.items()}
+
+
+#: suite name -> (baseline path, measure fn, flatten-to-numbers fn).
+SUITES: Dict[str, Tuple[pathlib.Path, Callable[[int], dict],
+                        Callable[[dict], Dict[str, float]]]] = {
+    "engine": (ENGINE_JSON, measure_engine, _flat_engine),
+    "fabric": (FABRIC_JSON, measure_fabric, _flat_fabric),
+    "orca": (ORCA_JSON, measure_orca, _flat_orca),
+}
+
+
+# ---------------------------------------------------------- write / check
+
+def _payload(kind: str, results: dict) -> dict:
+    return {
+        "bench": kind,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+
+
+def write_baselines(repeat: int, suites: Sequence[str]) -> int:
+    for suite in suites:
+        path, measure, flatten = SUITES[suite]
+        results = measure(repeat)
+        path.write_text(json.dumps(_payload(suite, results), indent=2) + "\n")
+        print(f"wrote {path.name}: {flatten(results)}")
+    return 0
+
+
+def check_baselines(repeat: int, threshold: float,
+                    suites: Sequence[str]) -> int:
+    failures: List[str] = []
+    rows: List[Tuple[str, str, float, Optional[float], str]] = []
+
+    for suite in suites:
+        path, measure, flatten = SUITES[suite]
+        if not path.exists():
+            failures.append(f"{path.name} not found — run --write first")
+            continue
+        committed = flatten(json.loads(path.read_text())["results"])
+        current = flatten(measure(repeat))
+        for name, base in committed.items():
+            cur = current.get(name)
+            if cur is None:
+                failures.append(f"{suite}/{name}: missing from current run")
+                rows.append((suite, name, base, None, "MISSING"))
+                continue
+            floor = base * (1.0 - threshold)
+            status = "ok" if cur >= floor else "REGRESSION"
+            rows.append((suite, name, base, cur, status))
+            if cur < floor:
+                failures.append(
+                    f"{suite}/{name}: {cur}/s is {1 - cur / base:.0%} below "
+                    f"baseline {base}/s (threshold {threshold:.0%})")
+
+    width = max((len(f"{s}/{n}") for s, n, *_ in rows), default=20)
+    print(f"{'metric':<{width}} {'baseline':>12} {'current':>12} "
+          f"{'delta':>7}  status")
+    for suite, name, base, cur, status in rows:
+        metric = f"{suite}/{name}"
+        if cur is None:
+            print(f"{metric:<{width}} {base:>12} {'-':>12} {'-':>7}  {status}")
+        else:
+            print(f"{metric:<{width}} {base:>12} {round(cur, 2):>12} "
+                  f"{cur / base - 1.0:>+6.0%}  {status}")
+
+    if failures:
+        print("\nperf-smoke FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nperf-smoke OK: all workloads within threshold")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="measure throughput and write/check the committed "
+                    "BENCH_*.json perf baselines")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true",
+                      help="measure and (over)write the committed baselines")
+    mode.add_argument("--check", action="store_true",
+                      help="measure and fail on >threshold regressions")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per workload (best is reported)")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional drop vs baseline (0.30)")
+    parser.add_argument("--suite", choices=["all"] + sorted(SUITES),
+                        default="all",
+                        help="restrict to one baseline suite (default: all)")
+    args = parser.parse_args(argv)
+    suites = sorted(SUITES) if args.suite == "all" else [args.suite]
+    if args.write:
+        return write_baselines(args.repeat, suites)
+    return check_baselines(args.repeat, args.threshold, suites)

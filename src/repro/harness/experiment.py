@@ -34,7 +34,8 @@ def run_app(app: Application, variant: str, n_clusters: int,
             dedicated_sequencer_node: bool = False,
             topology: Optional[Topology] = None,
             tracer: Optional[Tracer] = None,
-            fast_paths: bool = True) -> AppResult:
+            fast_paths: bool = True,
+            runtime_fast_paths: Optional[bool] = None) -> AppResult:
     """Run ``app``/``variant`` on ``n_clusters`` x ``nodes_per_cluster``.
 
     ``dedicated_sequencer_node`` applies the paper's further broadcast
@@ -54,6 +55,11 @@ def run_app(app: Application, variant: str, n_clusters: int,
     ``fast_paths=False`` selects the fabric's legacy process-per-leg
     message paths — the reference implementation the golden equivalence
     suite compares the default callback-chained paths against.
+    ``runtime_fast_paths`` independently selects the Orca control-plane
+    tier (broadcast delivery, RPC service); ``None`` inherits
+    ``fast_paths``.  Passing ``runtime_fast_paths=False`` with
+    ``fast_paths=True`` isolates the runtime layer for its golden
+    suite.
     """
     app.check_variant(variant)
     # Run-local ids: traces (which join on message/request ids) come out
@@ -71,7 +77,8 @@ def run_app(app: Application, variant: str, n_clusters: int,
         sim.obs = fabric.tracer  # process-lifecycle records
     seq_kind = sequencer if sequencer is not None else app.sequencer_for(variant)
     rts = OrcaRuntime(sim, fabric, sequencer=seq_kind,
-                      dedicated_sequencer_node=dedicated_sequencer_node)
+                      dedicated_sequencer_node=dedicated_sequencer_node,
+                      fast_paths=runtime_fast_paths)
 
     shared = app.register(rts, params, variant)
     finished_at: List[float] = [0.0] * topo.n_nodes
@@ -102,7 +109,8 @@ def run_app(app: Application, variant: str, n_clusters: int,
         app=app.name, variant=variant, n_clusters=n_clusters,
         nodes_per_cluster=nodes_per_cluster, elapsed=elapsed, answer=answer,
         stats=app.stats(rts, params, variant, shared),
-        traffic=rts.meter.snapshot(), utilization=util)
+        traffic=rts.meter.snapshot(), utilization=util,
+        sim_stats=sim.stats())
 
 
 @dataclass

@@ -234,6 +234,93 @@ class Fabric:
             name="wanfanout")
         return done
 
+    # ----------------------------------------------- chain-style entry points
+    #
+    # Non-generator counterparts of send / multicast_local /
+    # wan_fanout_multicast for callers that are themselves callback
+    # chains (the Orca runtime's fast tier).  They charge the
+    # sender-side CPU exactly like the generator APIs, then launch the
+    # same fast delivery legs; ``then`` runs where a process driving
+    # the generator would resume.  Only meaningful on the fast tier —
+    # the Orca runtime refuses to combine its fast paths with a
+    # legacy-tier fabric.
+
+    def send_chain(self, src: int, dst: int, size: int, payload: Any = None,
+                   port: str = "default", kind: str = "msg",
+                   then: Optional[Callable[[Event], None]] = None) -> None:
+        """:meth:`send` as a callback chain: charge the sender CPU, then
+        launch the delivery legs.  ``then(done)`` — if given — receives
+        the delivery event once the sender-side overhead is paid, the
+        point a driving process resumes at."""
+        msg = Message(src=src, dst=dst, size=size, payload=payload,
+                      port=port, kind=kind, send_time=self.sim.now)
+        local = self.topo.same_cluster(src, dst)
+        tr = self.tracer
+        if tr.enabled:
+            scope = "self" if src == dst else ("lan" if local else "wan")
+            tr.emit(self.sim.now, "msg.send", msg_id=msg.msg_id, src=src,
+                    dst=dst, size=size, msg_kind=kind, port=port, scope=scope)
+        link = self.params.lan if local else self.params.access
+        cost = link.o_send + size * link.per_byte_cpu
+
+        def _launch(_ev: Event) -> None:
+            if src == dst:
+                done = self._fast_self(msg)
+            elif local:
+                done = self._fast_lan(msg)
+            else:
+                done = self._fast_wan(msg)
+            if then is not None:
+                then(done)
+
+        self.nodes[src].cpu.execute_ev(cost).callbacks.append(_launch)
+
+    def multicast_local_chain(self, src: int, size: int, payload: Any = None,
+                              port: str = "default", kind: str = "msg",
+                              include_self: bool = True,
+                              then: Optional[Callable[[Event], None]] = None
+                              ) -> None:
+        """:meth:`multicast_local` as a callback chain (see
+        :meth:`send_chain`); ``then(done)`` receives the all-delivered
+        event."""
+        lan = self.params.lan
+        cost = lan.o_send + self.params.bcast_extra + size * lan.per_byte_cpu
+        cluster = self.topo.cluster_of(src)
+
+        def _launch(_ev: Event) -> None:
+            done = self._fast_multicast(src, cluster, size, payload, port,
+                                        kind, include_self)
+            if then is not None:
+                then(done)
+
+        self.nodes[src].cpu.execute_ev(cost).callbacks.append(_launch)
+
+    def wan_fanout_multicast_chain(self, src: int, size: int,
+                                   payload: Any = None,
+                                   port: str = "default", kind: str = "msg",
+                                   then: Optional[Callable[[Event], None]]
+                                   = None) -> None:
+        """:meth:`wan_fanout_multicast` as a callback chain (see
+        :meth:`send_chain`).  With no remote clusters ``then(None)``
+        runs synchronously — no event is created, so a quiet instant
+        stays quiet."""
+        src_cluster = self.topo.cluster_of(src)
+        remote = [c for c in range(self.topo.n_clusters) if c != src_cluster]
+        if not remote:
+            if then is not None:
+                then(None)
+            return
+        access = self.params.access
+        cost = access.o_send + size * access.per_byte_cpu
+
+        def _launch(_ev: Event) -> None:
+            done = self._fast_wan_fanout(src, src_cluster, remote, size,
+                                         payload, port, kind)
+            if then is not None:
+                then(done)
+
+        self.nodes[src].cpu.execute_ev(cost).callbacks.append(_launch)
+
     # ------------------------------------------------- fast callback chains
     #
     # Each _fast_* builds the whole leg chain synchronously and returns
@@ -285,6 +372,7 @@ class Fabric:
 
         # Busy instant: request one dispatch later; request() posts the
         # grant, putting the hold two dispatches out — legacy parity.
+        sim._n_fallback += 1
         sim.after(0.0, lambda _ev: res.request().callbacks.append(_granted))
         return done
 

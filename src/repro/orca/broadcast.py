@@ -62,15 +62,31 @@ class TotalOrderBroadcast:
     def __init__(self, sim: Simulator, fabric: Fabric,
                  protocol: SequencerProtocol,
                  apply_fn: Callable[[int, BcastPayload], Generator],
-                 dedicated_sequencer_node: bool = False):
+                 dedicated_sequencer_node: bool = False,
+                 fast_paths: bool = False,
+                 apply_fast: Optional[Callable[[int, BcastPayload,
+                                                Callable[[Any], None]],
+                                               None]] = None):
         """``apply_fn(node, payload)`` is a generator provided by the
         runtime that executes the operation on ``node``'s replica and
-        charges its CPU; it returns the op result."""
+        charges its CPU; it returns the op result.
+
+        With ``fast_paths=True`` delivery runs as flat callback chains
+        instead of per-node dispatcher processes, and ``apply_fast(node,
+        payload, k)`` — the chain counterpart of ``apply_fn``, calling
+        ``k(result)`` where the generator would return — must be
+        provided.  The two tiers are bit-identical in virtual time,
+        traffic, and trace records; see ``_arm`` for the parity
+        argument."""
         self.sim = sim
         self.fabric = fabric
         self.topo = fabric.topo
         self.protocol = protocol
         self.apply_fn = apply_fn
+        self.fast_paths = fast_paths
+        self.apply_fast = apply_fast
+        if fast_paths and apply_fast is None:
+            raise ValueError("fast_paths=True requires an apply_fast chain")
         self._delivery = [_NodeDeliveryState() for _ in range(self.topo.n_nodes)]
         # seq -> (sender node, completion event)
         self._completions: Dict[int, Tuple[int, Event]] = {}
@@ -86,8 +102,13 @@ class TotalOrderBroadcast:
         # cluster also runs the sequencer; the paper mentions using a
         # dedicated node as cluster sequencer as a further optimization.
         self._dedicated = dedicated_sequencer_node
-        for node in fabric.nodes:
-            sim.spawn(self._dispatcher(node.nid), name=f"bcastdisp{node.nid}")
+        if fast_paths:
+            for node in fabric.nodes:
+                self._arm(node.nid)
+        else:
+            for node in fabric.nodes:
+                sim.spawn(self._dispatcher(node.nid),
+                          name=f"bcastdisp{node.nid}")
 
     # ----------------------------------------------------------------- API
 
@@ -155,7 +176,18 @@ class TotalOrderBroadcast:
         # 2. Order.  Same-sender broadcasts take their tickets in issue
         #    order; the acquire generator models token/migration delays.
         yield from self._await_issue_turn(sender, issue)
-        seq = yield from self.protocol.acquire(stamp_cluster)
+        seq = None
+        if self.fast_paths:
+            # Analytic stamp when ordering is local and the instant is
+            # quiet; contended instants hand back to the acquire
+            # generator so same-instant races linearize identically.
+            seq = self.protocol.try_acquire(stamp_cluster)
+            if seq is None:
+                self.sim._n_fallback += 1
+            else:
+                self.sim._n_fast += 1
+        if seq is None:
+            seq = yield from self.protocol.acquire(stamp_cluster)
         self._advance_issue_turn(sender)
 
         payload = BcastPayload(seq=seq, obj_name=obj_name, op_name=op_name,
@@ -178,9 +210,23 @@ class TotalOrderBroadcast:
         origin_cluster = sender_cluster if bb_mode else stamp_cluster
 
         # 3. Disseminate from the origin node, in the background.
-        self.sim.spawn(self._disseminate(origin, origin_cluster, payload,
-                                         size),
-                       name=f"dissem{seq}")
+        if self.fast_paths:
+            heap = self.sim._heap
+            if not heap or heap[0][0] > self.sim.now:
+                # Quiet instant: launch the chain inline — the spawn
+                # bootstrap a process-based dissemination would pay is
+                # unobservable here.
+                self._fast_disseminate(origin, payload, size)
+            else:
+                # Busy instant: defer one dispatch, the exact depth of
+                # the legacy spawn bootstrap.
+                self.sim._n_fallback += 1
+                self.sim.after(0.0, lambda _ev: self._fast_disseminate(
+                    origin, payload, size))
+        else:
+            self.sim.spawn(self._disseminate(origin, origin_cluster, payload,
+                                             size),
+                           name=f"dissem{seq}")
 
         # 4./5. Wait until our own node applied it.
         result = yield done
@@ -231,6 +277,76 @@ class TotalOrderBroadcast:
                 if completion is not None and completion[0] == node:
                     del self._completions[current.seq]
                     completion[1].succeed(result)
+
+    # ----------------------------------------------------- fast delivery tier
+    #
+    # The callback-chain counterpart of _disseminate/_dispatcher.  Parity
+    # with the process tier, flow by flow:
+    #
+    # * arrival — the armed getter's callback runs at the dispatch of the
+    #   same event a dispatcher process would resume on (the put-side
+    #   succeed, or the get-side immediate grant when a message was
+    #   already queued), so holdback mutation happens at the identical
+    #   dispatch position;
+    # * apply — ``apply_fast`` attaches its continuation to the same CPU
+    #   charge event the ``apply_fn`` generator yields on, so the
+    #   ``bcast.apply`` emit, applied-list append, and completion
+    #   succeed all run at the legacy dispatch;
+    # * re-arm — only after the drain stalls on a gap, exactly where the
+    #   dispatcher loops back to ``port.get()``;
+    # * dissemination — the chain charges the same sender CPU costs
+    #   back-to-back (the WAN fan-out charge is requested only once the
+    #   local-multicast charge completes, preserving FIFO order against
+    #   concurrent requesters) and launches the same fast legs.  The
+    #   legacy tail ``all_of`` wait is dropped: nothing ever waits on
+    #   the dissemination process, so it is unobservable.
+
+    def _fast_disseminate(self, origin: int, payload: BcastPayload,
+                          size: int) -> None:
+        fab = self.fabric
+        if self.topo.n_clusters > 1:
+            fab.multicast_local_chain(
+                origin, size, payload=payload, port=BCAST_PORT, kind="bcast",
+                then=lambda _done: fab.wan_fanout_multicast_chain(
+                    origin, size, payload=payload, port=BCAST_PORT,
+                    kind="bcast"))
+        else:
+            fab.multicast_local_chain(origin, size, payload=payload,
+                                      port=BCAST_PORT, kind="bcast")
+
+    def _arm(self, node: int) -> None:
+        """Park a one-shot delivery continuation on the node's bcast port."""
+        ev = self.fabric.nodes[node].port(BCAST_PORT).get()
+        ev.callbacks.append(lambda _ev, n=node: self._fast_arrival(n, _ev._value))
+
+    def _fast_arrival(self, node: int, msg: Any) -> None:
+        st = self._delivery[node]
+        payload: BcastPayload = msg.payload
+        st.holdback[payload.seq] = payload
+        self._fast_drain(node, st)
+
+    def _fast_drain(self, node: int, st: _NodeDeliveryState) -> None:
+        if st.next_expected not in st.holdback:
+            self._arm(node)  # stalled on a gap: wait for the next arrival
+            return
+        current = st.holdback.pop(st.next_expected)
+        self.apply_fast(
+            node, current,
+            lambda result: self._fast_applied(node, st, current, result))
+
+    def _fast_applied(self, node: int, st: _NodeDeliveryState,
+                      current: BcastPayload, result: Any) -> None:
+        tr = self.fabric.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, "bcast.apply", node=node,
+                    seq=current.seq, sender=current.sender)
+        st.applied.append(current.seq)
+        st.next_expected += 1
+        completion = self._completions.get(current.seq)
+        if completion is not None and completion[0] == node:
+            del self._completions[current.seq]
+            completion[1].succeed(result)
+        self._fast_drain(node, st)
 
     # ------------------------------------------------------------- testing
 

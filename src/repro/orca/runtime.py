@@ -62,11 +62,26 @@ class OrcaRuntime:
 
     def __init__(self, sim: Simulator, fabric: Fabric,
                  sequencer: str = "distributed",
-                 dedicated_sequencer_node: bool = False):
+                 dedicated_sequencer_node: bool = False,
+                 fast_paths: Optional[bool] = None):
+        """``fast_paths`` selects the control-plane tier: ``True`` runs
+        broadcast delivery and RPC service as flat callback chains,
+        ``False`` as generator processes, ``None`` (default) inherits
+        the fabric's tier.  Both tiers are bit-identical in virtual
+        time, answers, traffic, and trace records; the fast tier only
+        reduces host-side event and process counts.  Runtime fast paths
+        require a fast-path fabric — the chains call the fabric's
+        chain-style entry points directly."""
         self.sim = sim
         self.fabric = fabric
         self.topo = fabric.topo
         self.meter: TrafficMeter = fabric.meter
+        self.fast_paths = fabric.fast_paths if fast_paths is None else fast_paths
+        if self.fast_paths and not fabric.fast_paths:
+            raise ValueError(
+                "OrcaRuntime(fast_paths=True) requires Fabric(fast_paths="
+                "True): the runtime's callback chains use the fabric's "
+                "chain entry points")
         p = fabric.params
         hop = (p.wan.latency + 2 * p.access.latency
                + 2 * p.gateway.forward_cost)
@@ -75,13 +90,19 @@ class OrcaRuntime:
             tracer=fabric.tracer)
         self.tob = TotalOrderBroadcast(
             sim, fabric, self.protocol, self._apply_bcast,
-            dedicated_sequencer_node=dedicated_sequencer_node)
+            dedicated_sequencer_node=dedicated_sequencer_node,
+            fast_paths=self.fast_paths, apply_fast=self._apply_bcast_fast)
         self.specs: Dict[str, ObjectSpec] = {}
         # Replicated objects: one replica per node.  Non-replicated: the
         # owner's replica only, at [owner].
         self._replicas: Dict[str, Dict[int, Replica]] = {}
-        for node in fabric.nodes:
-            sim.spawn(self._rpc_server(node.nid), name=f"rpcserver{node.nid}")
+        if self.fast_paths:
+            for node in fabric.nodes:
+                self._arm_rpc(node.nid)
+        else:
+            for node in fabric.nodes:
+                sim.spawn(self._rpc_server(node.nid),
+                          name=f"rpcserver{node.nid}")
 
     # --------------------------------------------------------------- setup
 
@@ -122,7 +143,7 @@ class OrcaRuntime:
 
     def _charge(self, node: int, seconds: float) -> Generator:
         cpu = self.fabric.nodes[node].cpu
-        if self.fabric.fast_paths:
+        if self.fast_paths:
             yield cpu.execute_ev(seconds)
         else:
             yield self.sim.spawn(cpu.execute(seconds))
@@ -154,7 +175,20 @@ class OrcaRuntime:
                 item.succeed(None)
             else:
                 retries.append(item)
-        if retries:
+        if not retries:
+            return
+        if self.fast_paths:
+            sim = self.sim
+            heap = sim._heap
+            if not heap or heap[0][0] > sim.now:
+                self._fast_retry(owner, replica, retries, 0)
+            else:
+                # Busy instant (e.g. guard waiters were just woken):
+                # defer one dispatch, the legacy spawn-bootstrap depth.
+                sim._n_fallback += 1
+                sim.after(0.0, lambda _ev: self._fast_retry(
+                    owner, replica, retries, 0))
+        else:
             self.sim.spawn(self._retry_rpcs(owner, replica, retries),
                            name="rpcretry")
 
@@ -162,6 +196,17 @@ class OrcaRuntime:
                     requests: List[_RpcRequest]) -> Generator:
         for req in requests:
             yield from self._serve_request(owner, req)
+
+    def _fast_retry(self, owner: int, replica: Replica,
+                    requests: List[_RpcRequest], i: int) -> None:
+        """Chain counterpart of :meth:`_retry_rpcs`: strictly sequential —
+        request ``i+1`` starts where the generator would resume, after
+        ``i``'s reply send overhead (or guard-fail charge)."""
+        if i >= len(requests):
+            return
+        self._serve_chain(owner, requests[i],
+                          then=lambda: self._fast_retry(owner, replica,
+                                                        requests, i + 1))
 
     # ------------------------------------------------------------------ RPC
 
@@ -196,6 +241,68 @@ class OrcaRuntime:
         yield from self.fabric.send(
             node, req.caller, result_size, payload=(result, result_size),
             port=req.result_port, kind="rpc")
+
+    # ------------------------------------------------------- RPC (fast tier)
+    #
+    # Chain counterparts of _rpc_server/_serve_request.  Parity: the
+    # armed getter's continuation runs at the dispatch the server
+    # process would resume on; the serve body attaches to the same CPU
+    # charge events the generator yields on; a fresh arrival at a busy
+    # instant defers the serve one dispatch — the legacy spawn
+    # bootstrap — *before* re-arming, matching the server's
+    # spawn-then-get push order.
+
+    def _arm_rpc(self, node: int) -> None:
+        ev = self.fabric.nodes[node].port(RPC_PORT).get()
+        ev.callbacks.append(
+            lambda _ev, n=node: self._fast_rpc_arrival(n, _ev._value))
+
+    def _fast_rpc_arrival(self, node: int, msg: Message) -> None:
+        sim = self.sim
+        req: _RpcRequest = msg.payload
+        heap = sim._heap
+        if not heap or heap[0][0] > sim.now:
+            # Quiet instant: serve inline (the spawn bootstrap is
+            # unobservable), then re-arm.
+            sim._n_fast += 1
+            self._serve_chain(node, req)
+            self._arm_rpc(node)
+        else:
+            sim._n_fallback += 1
+            sim.after(0.0, lambda _ev: self._serve_chain(node, req))
+            self._arm_rpc(node)
+
+    def _serve_chain(self, node: int, req: _RpcRequest,
+                     then: Optional[Any] = None) -> None:
+        """Chain counterpart of :meth:`_serve_request`; ``then()`` runs
+        where a driving generator would resume (after the reply's
+        sender-side overhead, or after the guard-fail charge)."""
+        replica = self._replicas[req.obj_name].get(node)
+        if replica is None:
+            raise RuntimeError(
+                f"RPC for {req.obj_name!r} arrived at non-owner node {node}")
+        op = replica.spec.op(req.op_name)
+        cpu = self.fabric.nodes[node].cpu
+        try:
+            result = replica.execute(req.op_name, req.args)
+        except Blocked:
+            def _parked(_ev: Event) -> None:
+                replica.parked.append(("rpc", req))
+                if then is not None:
+                    then()
+            cpu.execute_ev(GUARD_EVAL_COST).callbacks.append(_parked)
+            return
+
+        def _charged(_ev: Event) -> None:
+            if op.writes:
+                self._kick(node, replica)
+            result_size = op.result_size(result)
+            self.fabric.send_chain(
+                node, req.caller, result_size, payload=(result, result_size),
+                port=req.result_port, kind="rpc",
+                then=None if then is None else (lambda _done: then()))
+
+        cpu.execute_ev(op.cost(req.args)).callbacks.append(_charged)
 
     def _invoke_rpc(self, caller: int, spec: ObjectSpec, op: Operation,
                     op_name: str, args: tuple) -> Generator:
@@ -236,6 +343,22 @@ class OrcaRuntime:
         yield from self._charge(node, op.cost(payload.args))
         self._kick(node, replica)
         return result
+
+    def _apply_bcast_fast(self, node: int, payload: BcastPayload,
+                          k: Any) -> None:
+        """Chain counterpart of :meth:`_apply_bcast`: the continuation
+        ``k(result)`` attaches to the same CPU charge event the
+        generator yields on."""
+        replica = self._replicas[payload.obj_name][node]
+        op = replica.spec.op(payload.op_name)
+        result = replica.execute(payload.op_name, payload.args)
+
+        def _charged(_ev: Event) -> None:
+            self._kick(node, replica)
+            k(result)
+
+        self.fabric.nodes[node].cpu.execute_ev(
+            op.cost(payload.args)).callbacks.append(_charged)
 
     # ----------------------------------------------------------- public ops
 
@@ -353,7 +476,7 @@ class Context:
         q = quantum if quantum is not None else self.COMPUTE_QUANTUM
         cpu = self.rts.fabric.nodes[self.node].cpu
         remaining = seconds
-        if self.rts.fabric.fast_paths:
+        if self.rts.fast_paths:
             while remaining > 0:
                 step = remaining if remaining <= q else q
                 yield cpu.execute_ev(step, priority=1)

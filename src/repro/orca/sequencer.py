@@ -72,6 +72,20 @@ class SequencerProtocol:
     def acquire(self, cluster: int) -> Generator:
         raise NotImplementedError
 
+    def try_acquire(self, cluster: int) -> Optional[int]:
+        """Analytic fast path: stamp synchronously, or ``None``.
+
+        Succeeds only when :meth:`acquire` would have returned at the
+        current instant with no observable intermediate state — i.e.
+        stamping is local (token already here / centralized stamp) and,
+        for the token protocols, nothing else is scheduled at this
+        instant that could race the grant.  On ``None`` the caller
+        falls back to driving the :meth:`acquire` generator, so
+        same-instant contention linearizes exactly as on the legacy
+        path.  Emits the same ``seq.acquire`` record either way.
+        """
+        return None
+
     # Where the stamping happens for a sender in ``cluster``: the cluster
     # whose sequencer node disseminates the message.
     def stamping_cluster(self, sender_cluster: int) -> int:
@@ -96,6 +110,13 @@ class CentralizedSequencer(SequencerProtocol):
         # layer routes it there); stamping itself is immediate.
         if False:  # pragma: no cover - make this a generator
             yield None
+        seq = self._stamp()
+        self._trace_acquire(cluster, seq, self.sim.now)
+        return seq
+
+    def try_acquire(self, cluster: int) -> Optional[int]:
+        # Stamping never yields, so the fast path is always available
+        # and needs no quiet-instant check.
         seq = self._stamp()
         self._trace_acquire(cluster, seq, self.sim.now)
         return seq
@@ -195,6 +216,24 @@ class DistributedSequencer(SequencerProtocol):
         self._trace_acquire(cluster, seq, t0)
         return seq
 
+    def try_acquire(self, cluster: int) -> Optional[int]:
+        ring = self._ring
+        if ring.held or ring._distance(ring.at, cluster) != 0:
+            return None  # token away or departing: WAN hops, legacy path
+        sim = self.sim
+        heap = sim._heap
+        if heap and heap[0][0] <= sim.now:
+            return None  # busy instant: the grant dispatch is observable
+        t0 = sim.now
+        # Replicate _grant's distance-0 state changes, minus the event.
+        ring.held = True
+        ring.at = cluster
+        ring._turn_done = False
+        seq = self._stamp()
+        ring.release()
+        self._trace_acquire(cluster, seq, t0)
+        return seq
+
     @property
     def token_at(self) -> int:
         return self._ring.at
@@ -229,6 +268,22 @@ class MigratingSequencer(SequencerProtocol):
         yield self._ring.request(cluster)
         seq = self._stamp()
         self._ring.release()
+        self._trace_acquire(cluster, seq, t0)
+        return seq
+
+    def try_acquire(self, cluster: int) -> Optional[int]:
+        ring = self._ring
+        if ring.held or ring.at != cluster:
+            return None  # a migration pays a WAN hop: legacy path
+        sim = self.sim
+        heap = sim._heap
+        if heap and heap[0][0] <= sim.now:
+            return None  # busy instant: the grant dispatch is observable
+        t0 = sim.now
+        ring.held = True
+        ring._turn_done = False
+        seq = self._stamp()
+        ring.release()
         self._trace_acquire(cluster, seq, t0)
         return seq
 

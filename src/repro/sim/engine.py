@@ -281,6 +281,14 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self._n_spawned: int = 0
+        # Fast-path observability (see stats()): inline completions the
+        # fast tier performed without a heap dispatch, and the times a
+        # fast-path site had to defer through the heap (or hand a flow
+        # back to the legacy generator path) to preserve same-instant
+        # ordering.  Both are plain integer bumps on paths that already
+        # branch, so the dispatch loop never sees them.
+        self._n_fast: int = 0
+        self._n_fallback: int = 0
         # Optional observer (a repro.sim.Tracer) for process-lifecycle
         # records; None keeps spawn() free of any tracing work and the
         # dispatch loop is never touched either way.
@@ -360,16 +368,36 @@ class Simulator:
 
     # -- introspection ----------------------------------------------------
     def stats(self) -> dict:
-        """Dispatch counters: events popped and processes spawned.
+        """Dispatch and fast-path counters.
 
         ``events_processed`` is derived — every scheduled entry bumps
         ``_seq`` and sits in the heap until popped, so the difference is
         exactly the number of dispatches.  This keeps the counter live
         mid-run without any cost in the dispatch loop.
+
+        The event-minimization counters make the two-tier model
+        observable per run:
+
+        * ``spawns`` — processes started (same value as the legacy
+          ``processes_spawned`` key, kept for compatibility).  A
+          fast-tier run spawns far fewer than a legacy run of the same
+          workload.
+        * ``fast_completions`` — completions the fast tier performed
+          inline at a quiet instant (every :func:`fire` call plus the
+          sequencers' synchronous ``try_acquire`` stamps), i.e. heap
+          dispatches that never happened.
+        * ``fallbacks`` — times a fast-path site found the current
+          instant busy (or the state contended) and deferred through
+          the heap at legacy dispatch depths — or handed the flow back
+          to the legacy generator path — so same-instant races
+          linearize identically in both tiers.
         """
         return {
             "events_processed": self._seq - len(self._heap),
             "processes_spawned": self._n_spawned,
+            "spawns": self._n_spawned,
+            "fast_completions": self._n_fast,
+            "fallbacks": self._n_fallback,
         }
 
     # -- main loop --------------------------------------------------------
@@ -473,6 +501,7 @@ def fire(ev: Event, value: Any = None) -> None:
     ev._value = value
     ev._ok = True
     ev._scheduled = True
+    ev.sim._n_fast += 1
     callbacks = ev.callbacks
     ev.callbacks = None
     if callbacks is not None:

@@ -168,6 +168,8 @@ class Resource:
 
         # Busy instant: request one dispatch later (request() posts the
         # grant, putting the hold two dispatches out — process parity).
+        sim._n_fallback += 1
+
         def _request(_ev: Event) -> None:
             gate = self.request(priority)
             gate.callbacks.append(

@@ -1,0 +1,115 @@
+"""The PB -> BB protocol switch exactly at ``BB_THRESHOLD``.
+
+Orca/FM ships small write payloads to the sequencer, which broadcasts
+them (PB); at ``size >= BB_THRESHOLD`` it instead requests just a
+sequence number with a small control message and the *sender*
+broadcasts the payload (BB).  This suite pins the boundary — one byte
+below vs exactly at the threshold — and the distinct traffic shapes of
+the two modes, on both control-plane tiers.
+"""
+
+import pytest
+
+from repro.network import DAS_PARAMS, Fabric, uniform_clusters
+from repro.network.message import reset_ids
+from repro.orca import ObjectSpec, Operation, OrcaRuntime
+from repro.orca.broadcast import BB_THRESHOLD, SEQ_REQUEST_BYTES
+from repro.orca.runtime import reset_req_ids
+from repro.sim import Simulator, Tracer
+
+#: 2 clusters x 2 nodes; centralized sequencer stamps on node 0 (cluster
+#: 0), the writer runs on node 2 (cluster 1) — so PB mode genuinely
+#: ships the payload across the WAN to the stamping site.
+SENDER = 2
+STAMP_NODE = 0
+
+
+def _run_write(size, fast):
+    reset_ids()
+    reset_req_ids()
+    sim = Simulator()
+    tracer = Tracer()
+    tracer.enabled = True
+    fabric = Fabric(sim, uniform_clusters(2, 2), DAS_PARAMS, tracer=tracer,
+                    fast_paths=fast)
+    rts = OrcaRuntime(sim, fabric, sequencer="centralized")
+    rts.register(ObjectSpec(
+        name="blob", state_factory=list,
+        operations={"put": Operation(fn=lambda st, n: st.append(n) or len(st),
+                                     writes=True,
+                                     arg_bytes=lambda n: n,
+                                     result_bytes=8)},
+        replicated=True))
+
+    def writer():
+        result = yield from rts.invoke(SENDER, "blob", "put", (size,))
+        return result
+
+    proc = sim.spawn(writer())
+    sim.run()
+    assert proc.value == 1
+    records = [(r.time, r.kind, tuple(sorted(r.detail.items())))
+               for r in tracer.records
+               if r.kind not in ("proc.spawn", "proc.finish")]
+    by_kind = {}
+    for r in tracer.records:
+        by_kind.setdefault(r.kind, []).append(r.detail)
+    return records, by_kind
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "legacy"])
+def test_pb_one_byte_below_threshold(fast):
+    size = BB_THRESHOLD - 1
+    _records, by = _run_write(size, fast)
+    # The seq request carries the whole operation to the stamping site.
+    (req,) = by["seq.request"]
+    assert req["bb"] is False
+    assert req["size"] == size
+    assert req["stamp_node"] == STAMP_NODE and req["inter"] is True
+    # No grant trip back: the sequencer itself disseminates.
+    assert "seq.grant" not in by
+    # Every node got the stamped payload, from the stamping node.
+    delivers = [d for d in by["msg.deliver"] if d["msg_kind"] == "bcast"]
+    assert sorted(d["dst"] for d in delivers) == [0, 1, 2, 3]
+    assert all(d["src"] == STAMP_NODE for d in delivers)
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "legacy"])
+def test_bb_exactly_at_threshold(fast):
+    size = BB_THRESHOLD
+    _records, by = _run_write(size, fast)
+    # Only a small control message travels to the sequencer...
+    (req,) = by["seq.request"]
+    assert req["bb"] is True
+    assert req["size"] == SEQ_REQUEST_BYTES
+    # ...and the sequence number travels back.
+    (grant,) = by["seq.grant"]
+    assert grant["stamp_node"] == STAMP_NODE and grant["inter"] is True
+    # The *sender* disseminates the payload.
+    delivers = [d for d in by["msg.deliver"] if d["msg_kind"] == "bcast"]
+    assert sorted(d["dst"] for d in delivers) == [0, 1, 2, 3]
+    assert all(d["src"] == SENDER for d in delivers)
+
+
+@pytest.mark.parametrize("size", [BB_THRESHOLD - 1, BB_THRESHOLD],
+                         ids=["pb", "bb"])
+def test_boundary_identical_across_tiers(size):
+    """Fast and legacy tiers agree record-for-record on both sides of
+    the switch."""
+    fast_records, _ = _run_write(size, True)
+    legacy_records, _ = _run_write(size, False)
+    assert fast_records == legacy_records
+
+
+def test_bb_moves_fewer_payload_bytes_to_the_sequencer():
+    """At the boundary the two modes differ by design: PB pays the
+    payload on the sender->sequencer leg, BB only the 16-byte control
+    pair.  Measured on the non-bcast control traffic crossing the WAN."""
+    def control_wan_bytes(by):
+        return sum(d["size"] for d in by["msg.send"]
+                   if d["msg_kind"] != "bcast" and d["scope"] == "wan")
+
+    _, pb = _run_write(BB_THRESHOLD - 1, True)
+    _, bb = _run_write(BB_THRESHOLD, True)
+    assert control_wan_bytes(pb) == BB_THRESHOLD - 1
+    assert control_wan_bytes(bb) == 2 * SEQ_REQUEST_BYTES

@@ -355,7 +355,8 @@ def test_non_event_yield_failure_reaches_waiting_parent():
 
 def test_stats_counters():
     sim = Simulator()
-    assert sim.stats() == {"events_processed": 0, "processes_spawned": 0}
+    assert sim.stats() == {"events_processed": 0, "processes_spawned": 0,
+                           "spawns": 0, "fast_completions": 0, "fallbacks": 0}
 
     def child():
         yield sim.timeout(1.0)

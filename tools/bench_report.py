@@ -1,152 +1,22 @@
-"""Measure engine and fabric throughput; write/check the committed baselines.
+"""Thin shim over :mod:`repro.harness.bench` (kept for muscle memory).
 
-The repo commits two small JSON files at its root:
+The measurement/baseline logic lives in ``src/repro/harness/bench.py``
+so CI scripts, this tool and the ``repro bench`` CLI verb share one
+entry point::
 
-* ``BENCH_engine.json``  — events/s per engine micro-workload
-* ``BENCH_fabric.json``  — messages/s per fabric path (fast tier)
-
-``--write`` refreshes them from a local run (do this on the machine that
-defines the baseline, typically CI hardware, after a deliberate perf
-change).  ``--check`` re-measures and fails if any workload dropped more
-than ``--threshold`` (default 30%) below its committed number — the CI
-perf-smoke job runs this so event-path regressions surface in review
-rather than in a 10x slower figure sweep three PRs later.
-
-Run from the repo root::
-
-    PYTHONPATH=src python tools/bench_report.py --write
     PYTHONPATH=src python tools/bench_report.py --check
+    PYTHONPATH=src python -m repro bench --check        # equivalent
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import pathlib
-import platform
 import sys
-import time
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
-sys.path.insert(0, str(ROOT / "benchmarks"))
 
-ENGINE_JSON = ROOT / "BENCH_engine.json"
-FABRIC_JSON = ROOT / "BENCH_fabric.json"
-
-
-def measure_engine(repeat: int = 3) -> dict:
-    """Events/s per engine micro-workload (see bench_engine_micro)."""
-    from bench_engine_micro import WORKLOADS, _events_processed
-
-    results = {}
-    total_events = 0
-    total_best = 0.0
-    for name, fn in WORKLOADS:
-        best = float("inf")
-        events = 0
-        for _ in range(repeat):
-            t0 = time.perf_counter()
-            sim, approx = fn()
-            dt = time.perf_counter() - t0
-            events = _events_processed(sim, approx)
-            best = min(best, dt)
-        total_events += events
-        total_best += best
-        results[name] = round(events / best)
-    results["TOTAL"] = round(total_events / total_best)
-    return results
-
-
-def measure_fabric(repeat: int = 3) -> dict:
-    """Messages/s per fabric path, fast tier plus the fast/legacy ratio."""
-    from bench_fabric_micro import run_suite
-
-    _text, data = run_suite(repeat=repeat)
-    return {name: {"msgs_per_s": round(entry["fast"]),
-                   "speedup_vs_legacy": round(entry["speedup"], 2)}
-            for name, entry in data.items()}
-
-
-def _payload(kind: str, results: dict) -> dict:
-    return {
-        "bench": kind,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "results": results,
-    }
-
-
-def write_baselines(repeat: int) -> int:
-    eng = measure_engine(repeat)
-    fab = measure_fabric(repeat)
-    ENGINE_JSON.write_text(json.dumps(_payload("engine", eng), indent=2)
-                           + "\n")
-    FABRIC_JSON.write_text(json.dumps(_payload("fabric", fab), indent=2)
-                           + "\n")
-    print(f"wrote {ENGINE_JSON.name}: {eng}")
-    print(f"wrote {FABRIC_JSON.name}: "
-          f"{ {k: v['msgs_per_s'] for k, v in fab.items()} }")
-    return 0
-
-
-def check_baselines(repeat: int, threshold: float) -> int:
-    failures = []
-
-    def compare(label: str, committed: dict, current: dict) -> None:
-        for name, base in committed.items():
-            cur = current.get(name)
-            if cur is None:
-                failures.append(f"{label}/{name}: missing from current run")
-                continue
-            floor = base * (1.0 - threshold)
-            status = "ok" if cur >= floor else "REGRESSION"
-            print(f"{label:>8}/{name:<18} base={base:>9} cur={cur:>9} "
-                  f"({cur / base:>5.0%})  {status}")
-            if cur < floor:
-                failures.append(
-                    f"{label}/{name}: {cur}/s is {1 - cur / base:.0%} below "
-                    f"baseline {base}/s (threshold {threshold:.0%})")
-
-    if ENGINE_JSON.exists():
-        committed = json.loads(ENGINE_JSON.read_text())["results"]
-        compare("engine", committed, measure_engine(repeat))
-    else:
-        failures.append(f"{ENGINE_JSON.name} not found — run --write first")
-    if FABRIC_JSON.exists():
-        committed = json.loads(FABRIC_JSON.read_text())["results"]
-        current = measure_fabric(repeat)
-        compare("fabric",
-                {k: v["msgs_per_s"] for k, v in committed.items()},
-                {k: v["msgs_per_s"] for k, v in current.items()})
-    else:
-        failures.append(f"{FABRIC_JSON.name} not found — run --write first")
-
-    if failures:
-        print("\nperf-smoke FAILED:")
-        for f in failures:
-            print(f"  - {f}")
-        return 1
-    print("\nperf-smoke OK: all workloads within threshold")
-    return 0
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    mode = parser.add_mutually_exclusive_group(required=True)
-    mode.add_argument("--write", action="store_true",
-                      help="measure and (over)write the committed baselines")
-    mode.add_argument("--check", action="store_true",
-                      help="measure and fail on >threshold regressions")
-    parser.add_argument("--repeat", type=int, default=3,
-                        help="repetitions per workload (best is reported)")
-    parser.add_argument("--threshold", type=float, default=0.30,
-                        help="allowed fractional drop vs baseline (0.30)")
-    args = parser.parse_args(argv)
-    if args.write:
-        return write_baselines(args.repeat)
-    return check_baselines(args.repeat, args.threshold)
-
+from repro.harness.bench import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())
