@@ -109,7 +109,8 @@ def _runner(args) -> ParallelRunner:
     cache = None if getattr(args, "no_cache", False) else ResultCache()
     trace, trace_dir = _trace_spec(args)
     return ParallelRunner(jobs=getattr(args, "jobs", None), cache=cache,
-                          trace=trace, trace_dir=trace_dir)
+                          trace=trace, trace_dir=trace_dir,
+                          batch=getattr(args, "batch", None))
 
 
 def cmd_list(_args) -> int:
@@ -343,6 +344,10 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for independent runs "
                              "(default: $REPRO_JOBS or 1)")
+    parser.add_argument("--batch", type=int, default=None, metavar="B",
+                        help="grid points per worker dispatch (default: "
+                             "auto — 1 for small batches, larger on big "
+                             "grids to amortize pool IPC)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
     parser.add_argument("--trace-dir", default=None, metavar="DIR",

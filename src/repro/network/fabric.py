@@ -355,8 +355,7 @@ class Fabric:
                 lambda _ev2: self._finish_occupy(res, cls, size, msg_id,
                                                  t_req, t0, done))
 
-        heap = sim._heap
-        if not heap or heap[0][0] > sim.now:
+        if sim.idle_at_now():
             if res._in_use < res.capacity:
                 # Quiet + uncontended: grant inline, one analytic timeout.
                 res._account()
@@ -385,8 +384,7 @@ class Fabric:
             now = sim.now
             tr.emit(now, "link.busy", link=res.name, cls=cls, size=size,
                     wait=t0 - t_req, msg_id=msg_id, t0=t0, dur=now - t0)
-        heap = sim._heap
-        if not heap or heap[0][0] > sim.now:
+        if sim.idle_at_now():
             fire(done, None)  # quiet: complete inline, skip one dispatch
         else:
             done.succeed(None)
@@ -395,8 +393,7 @@ class Fabric:
         """Deposit ``msg`` and fire the delivery event (inline when quiet)."""
         self._deposit(msg)
         sim = self.sim
-        heap = sim._heap
-        if not heap or heap[0][0] > sim.now:
+        if sim.idle_at_now():
             fire(done, msg)
         else:
             done.succeed(msg)
@@ -429,8 +426,7 @@ class Fabric:
                 # — multicast, then WAN, then LAN — when arrivals on
                 # different path shapes land at the same instant.
                 # Elided at a quiet instant (nothing to race).
-                heap = sim._heap
-                if not heap or heap[0][0] > sim.now:
+                if sim.idle_at_now():
                     arrive(_ev)
                 else:
                     sim.after(0.0, lambda _e: sim.after(0.0, arrive))
@@ -509,8 +505,7 @@ class Fabric:
 
             def fin(_ev: Event) -> None:
                 gw.release()
-                heap = sim._heap
-                if not heap or heap[0][0] > sim.now:
+                if sim.idle_at_now():
                     emit_then(_ev)  # quiet: skip the completion dispatch
                 else:
                     fdone = Event(sim)
@@ -519,8 +514,7 @@ class Fabric:
 
             hold.callbacks.append(fin)
 
-        heap = sim._heap
-        if not heap or heap[0][0] > sim.now:
+        if sim.idle_at_now():
             # Quiet instant: sample and grant (or enqueue) inline.
             qd = gw.queue_length + gw.in_use + 1
             if gw._in_use < gw.capacity:
@@ -583,8 +577,7 @@ class Fabric:
             # One deferred dispatch (access-leg completion on the
             # legacy path) so WAN deposits stay one dispatch shallower
             # than LAN deposits — see _fast_lan.  Elided when quiet.
-            heap = sim._heap
-            if not heap or heap[0][0] > sim.now:
+            if sim.idle_at_now():
                 arrive(None)
             else:
                 sim.after(0.0, arrive)

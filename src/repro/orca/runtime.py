@@ -179,8 +179,7 @@ class OrcaRuntime:
             return
         if self.fast_paths:
             sim = self.sim
-            heap = sim._heap
-            if not heap or heap[0][0] > sim.now:
+            if sim.idle_at_now():
                 self._fast_retry(owner, replica, retries, 0)
             else:
                 # Busy instant (e.g. guard waiters were just woken):
@@ -260,8 +259,7 @@ class OrcaRuntime:
     def _fast_rpc_arrival(self, node: int, msg: Message) -> None:
         sim = self.sim
         req: _RpcRequest = msg.payload
-        heap = sim._heap
-        if not heap or heap[0][0] > sim.now:
+        if sim.idle_at_now():
             # Quiet instant: serve inline (the spawn bootstrap is
             # unobservable), then re-arm.
             sim._n_fast += 1

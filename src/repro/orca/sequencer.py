@@ -221,8 +221,7 @@ class DistributedSequencer(SequencerProtocol):
         if ring.held or ring._distance(ring.at, cluster) != 0:
             return None  # token away or departing: WAN hops, legacy path
         sim = self.sim
-        heap = sim._heap
-        if heap and heap[0][0] <= sim.now:
+        if not sim.idle_at_now():
             return None  # busy instant: the grant dispatch is observable
         t0 = sim.now
         # Replicate _grant's distance-0 state changes, minus the event.
@@ -276,8 +275,7 @@ class MigratingSequencer(SequencerProtocol):
         if ring.held or ring.at != cluster:
             return None  # a migration pays a WAN hop: legacy path
         sim = self.sim
-        heap = sim._heap
-        if heap and heap[0][0] <= sim.now:
+        if not sim.idle_at_now():
             return None  # busy instant: the grant dispatch is observable
         t0 = sim.now
         ring.held = True

@@ -1,0 +1,1511 @@
+/* Compiled tier of the discrete-event core.
+ *
+ * Implements the same event-store contract as _pyengine.py with
+ * C-native storage: the heap is a struct-of-arrays binary heap
+ * (parallel arrays of times, tie-break counters, item pointers and
+ * item kinds), events are C structs, and the dispatch loop — including
+ * the generator send/throw protocol of Process — runs without
+ * re-entering the interpreter except to run user callbacks and
+ * generator frames.
+ *
+ * Semantics are transcribed from _pyengine.py, which is the readable
+ * reference: same error messages, same tie-break counting (every heap
+ * entry bumps the counter exactly once, so Simulator.stats() agrees
+ * across tiers record-for-record), same kick-event recycling, same
+ * batched same-instant drain.  Exception types (SimulationError,
+ * Interrupt) and the PENDING sentinel are *shared* with the pure tier:
+ * they are injected once via _set_helpers() so isinstance checks and
+ * identity tests work across the facade.
+ *
+ * Built on demand by _build.py with the system C compiler; see
+ * engine.py for tier selection.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+/* Injected from _cengine.py via _set_helpers(). */
+static PyObject *Pending;       /* the shared PENDING sentinel */
+static PyObject *SimError;      /* SimulationError class */
+static PyObject *InterruptCls;  /* Interrupt class */
+static PyObject *AllOfCls;      /* AllOf (Python subclass of our Event) */
+static PyObject *AnyOfCls;      /* AnyOf */
+static PyObject *SpawnObsHook;  /* callable(sim, proc) -> None */
+static PyObject *DropArgHelper; /* callable(fn) -> (lambda _ev: fn()) */
+
+static PyObject *str_send, *str_throw, *str_value, *str_dunder_name;
+
+/* Heap item kinds. */
+#define K_EVENT 0   /* boxed Event: fire-and-dispatch */
+#define K_CALL  1   /* bare callable: call with no args */
+#define K_START 2   /* Process bootstrap: first generator resume */
+
+typedef struct {
+    PyObject_HEAD
+    double now;
+    long long seq;          /* monotone tie-break counter */
+    long long n_spawned;
+    long long n_fast;
+    long long n_fallback;
+    int running;
+    PyObject *obs;          /* tracer or NULL */
+    /* Struct-of-arrays binary heap keyed by (time, seq). */
+    Py_ssize_t hlen, hcap;
+    double *ht;
+    long long *hseq;
+    PyObject **hitem;       /* strong references */
+    unsigned char *hkind;
+} SimObject;
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *sim;          /* SimObject, strong */
+    PyObject *callbacks;    /* PyList, or NULL once processed */
+    PyObject *value;        /* Pending sentinel until triggered */
+    PyObject *defval;       /* value assumed when fired off the heap */
+    char ok;
+    char scheduled;
+} EventObject;
+
+typedef struct {
+    EventObject ev;
+    double delay;
+} TimeoutObject;
+
+typedef struct {
+    EventObject ev;
+    PyObject *gen;
+    PyObject *name;         /* str */
+    PyObject *waiting_on;   /* Event or NULL */
+    PyObject *kick;         /* recycled kick Event or NULL */
+    PyObject *kick_cbs;     /* the kick's callback list, or NULL */
+    PyObject *resume_cb;    /* cached bound _resume (stable identity) */
+} ProcessObject;
+
+static PyTypeObject SimType;
+static PyTypeObject EventType;
+static PyTypeObject TimeoutType;
+static PyTypeObject ProcessType;
+
+static int process_step(ProcessObject *self, PyObject *sendval, int ok);
+
+/* ------------------------------------------------------------------ */
+/* Heap primitives                                                     */
+/* ------------------------------------------------------------------ */
+
+static int
+heap_grow(SimObject *s)
+{
+    Py_ssize_t ncap = s->hcap ? s->hcap * 2 : 64;
+    double *nt = PyMem_Realloc(s->ht, (size_t)ncap * sizeof(double));
+    if (!nt) { PyErr_NoMemory(); return -1; }
+    s->ht = nt;
+    long long *nseq = PyMem_Realloc(s->hseq, (size_t)ncap * sizeof(long long));
+    if (!nseq) { PyErr_NoMemory(); return -1; }
+    s->hseq = nseq;
+    PyObject **nitem = PyMem_Realloc(s->hitem, (size_t)ncap * sizeof(PyObject *));
+    if (!nitem) { PyErr_NoMemory(); return -1; }
+    s->hitem = nitem;
+    unsigned char *nkind = PyMem_Realloc(s->hkind, (size_t)ncap);
+    if (!nkind) { PyErr_NoMemory(); return -1; }
+    s->hkind = nkind;
+    s->hcap = ncap;
+    return 0;
+}
+
+/* Push (t, ++seq, item, kind); increfs item. */
+static int
+heap_push(SimObject *s, double t, PyObject *item, int kind)
+{
+    if (s->hlen == s->hcap && heap_grow(s) < 0)
+        return -1;
+    long long seq = ++s->seq;
+    Py_ssize_t i = s->hlen++;
+    while (i > 0) {
+        Py_ssize_t p = (i - 1) >> 1;
+        if (s->ht[p] < t || (s->ht[p] == t && s->hseq[p] < seq))
+            break;
+        s->ht[i] = s->ht[p];
+        s->hseq[i] = s->hseq[p];
+        s->hitem[i] = s->hitem[p];
+        s->hkind[i] = s->hkind[p];
+        i = p;
+    }
+    s->ht[i] = t;
+    s->hseq[i] = seq;
+    s->hitem[i] = Py_NewRef(item);
+    s->hkind[i] = (unsigned char)kind;
+    return 0;
+}
+
+/* Pop the root; returns an owned item reference.  hlen must be > 0. */
+static PyObject *
+heap_pop(SimObject *s, double *t_out, int *kind_out)
+{
+    PyObject *item = s->hitem[0];
+    *t_out = s->ht[0];
+    *kind_out = s->hkind[0];
+    Py_ssize_t n = --s->hlen;
+    if (n > 0) {
+        double t = s->ht[n];
+        long long seq = s->hseq[n];
+        PyObject *last = s->hitem[n];
+        unsigned char kind = s->hkind[n];
+        Py_ssize_t i = 0;
+        for (;;) {
+            Py_ssize_t c = 2 * i + 1;
+            if (c >= n)
+                break;
+            Py_ssize_t r = c + 1;
+            if (r < n && (s->ht[r] < s->ht[c] ||
+                          (s->ht[r] == s->ht[c] && s->hseq[r] < s->hseq[c])))
+                c = r;
+            if (t < s->ht[c] || (t == s->ht[c] && seq < s->hseq[c]))
+                break;
+            s->ht[i] = s->ht[c];
+            s->hseq[i] = s->hseq[c];
+            s->hitem[i] = s->hitem[c];
+            s->hkind[i] = s->hkind[c];
+            i = c;
+        }
+        s->ht[i] = t;
+        s->hseq[i] = seq;
+        s->hitem[i] = last;
+        s->hkind[i] = kind;
+    }
+    return item;
+}
+
+/* ------------------------------------------------------------------ */
+/* Event                                                               */
+/* ------------------------------------------------------------------ */
+
+static int
+check_ready(void)
+{
+    if (!Pending) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "_ccore helpers not initialized (import via "
+                        "repro.sim.engine, not directly)");
+        return -1;
+    }
+    return 0;
+}
+
+/* Allocate a bare event of `type` bound to `sim` (no heap entry). */
+static EventObject *
+event_new_bare(PyTypeObject *type, SimObject *sim)
+{
+    EventObject *ev = (EventObject *)type->tp_alloc(type, 0);
+    if (!ev)
+        return NULL;
+    ev->sim = Py_NewRef((PyObject *)sim);
+    ev->callbacks = PyList_New(0);
+    if (!ev->callbacks) { Py_DECREF(ev); return NULL; }
+    ev->value = Py_NewRef(Pending);
+    ev->defval = Py_NewRef(Py_None);
+    ev->ok = 1;
+    ev->scheduled = 0;
+    return ev;
+}
+
+static int
+event_post(EventObject *ev, double delay)
+{
+    if (ev->scheduled) {
+        PyErr_SetString(SimError, "event already scheduled");
+        return -1;
+    }
+    ev->scheduled = 1;
+    SimObject *sim = (SimObject *)ev->sim;
+    return heap_push(sim, sim->now + delay, (PyObject *)ev, K_EVENT);
+}
+
+/* Internal succeed/fail: no "already triggered" possible at call sites
+ * that checked; callers that may race use event_complete_checked. */
+static int
+event_complete(EventObject *ev, PyObject *value, int ok)
+{
+    if (ev->value != Pending) {
+        PyErr_SetString(SimError, "event already triggered");
+        return -1;
+    }
+    Py_XSETREF(ev->value, Py_NewRef(value));
+    ev->ok = (char)ok;
+    return event_post(ev, 0.0);
+}
+
+static int
+Event_init(EventObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *sim;
+    static char *kwlist[] = {"sim", NULL};
+    if (check_ready() < 0)
+        return -1;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O!", kwlist,
+                                     &SimType, &sim))
+        return -1;
+    Py_XSETREF(self->sim, Py_NewRef(sim));
+    PyObject *cbs = PyList_New(0);
+    if (!cbs)
+        return -1;
+    Py_XSETREF(self->callbacks, cbs);
+    Py_XSETREF(self->value, Py_NewRef(Pending));
+    Py_XSETREF(self->defval, Py_NewRef(Py_None));
+    self->ok = 1;
+    self->scheduled = 0;
+    return 0;
+}
+
+static int
+Event_traverse(EventObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->sim);
+    Py_VISIT(self->callbacks);
+    Py_VISIT(self->value);
+    Py_VISIT(self->defval);
+    return 0;
+}
+
+static int
+Event_clear(EventObject *self)
+{
+    Py_CLEAR(self->sim);
+    Py_CLEAR(self->callbacks);
+    Py_CLEAR(self->value);
+    Py_CLEAR(self->defval);
+    return 0;
+}
+
+static void
+Event_dealloc(EventObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Event_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+Event_succeed(EventObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs > 1) {
+        PyErr_SetString(PyExc_TypeError, "succeed() takes at most 1 argument");
+        return NULL;
+    }
+    PyObject *value = nargs ? args[0] : Py_None;
+    if (event_complete(self, value, 1) < 0)
+        return NULL;
+    return Py_NewRef((PyObject *)self);
+}
+
+static PyObject *
+Event_fail(EventObject *self, PyObject *exc)
+{
+    if (self->value != Pending) {
+        PyErr_SetString(SimError, "event already triggered");
+        return NULL;
+    }
+    if (!PyExceptionInstance_Check(exc)) {
+        PyErr_SetString(SimError, "fail() requires an exception instance");
+        return NULL;
+    }
+    Py_XSETREF(self->value, Py_NewRef(exc));
+    self->ok = 0;
+    if (event_post(self, 0.0) < 0)
+        return NULL;
+    return Py_NewRef((PyObject *)self);
+}
+
+static PyObject *
+Event_get_triggered(EventObject *self, void *closure)
+{
+    return PyBool_FromLong(self->value != Pending);
+}
+
+static PyObject *
+Event_get_processed(EventObject *self, void *closure)
+{
+    return PyBool_FromLong(self->callbacks == NULL);
+}
+
+static PyObject *
+Event_get_ok(EventObject *self, void *closure)
+{
+    if (self->value == Pending) {
+        PyErr_SetString(SimError, "event not yet triggered");
+        return NULL;
+    }
+    return PyBool_FromLong(self->ok);
+}
+
+static PyObject *
+Event_get_value(EventObject *self, void *closure)
+{
+    if (self->value == Pending) {
+        PyErr_SetString(SimError, "event not yet triggered");
+        return NULL;
+    }
+    return Py_NewRef(self->value);
+}
+
+static PyObject *
+Event_get_callbacks(EventObject *self, void *closure)
+{
+    if (self->callbacks == NULL)
+        Py_RETURN_NONE;
+    return Py_NewRef(self->callbacks);
+}
+
+static int
+Event_set_callbacks(EventObject *self, PyObject *v, void *closure)
+{
+    if (v == NULL || v == Py_None) {
+        Py_CLEAR(self->callbacks);
+        return 0;
+    }
+    if (!PyList_Check(v)) {
+        PyErr_SetString(PyExc_TypeError, "callbacks must be a list or None");
+        return -1;
+    }
+    Py_XSETREF(self->callbacks, Py_NewRef(v));
+    return 0;
+}
+
+static PyObject *
+Event_get_rawvalue(EventObject *self, void *closure)
+{
+    return Py_NewRef(self->value);
+}
+
+static PyObject *
+Event_get_rawok(EventObject *self, void *closure)
+{
+    return PyBool_FromLong(self->ok);
+}
+
+static PyObject *
+Event_get_scheduled(EventObject *self, void *closure)
+{
+    return PyBool_FromLong(self->scheduled);
+}
+
+static PyObject *
+Event_get_default(EventObject *self, void *closure)
+{
+    return Py_NewRef(self->defval);
+}
+
+static PyMethodDef Event_methods[] = {
+    {"succeed", (PyCFunction)(void (*)(void))Event_succeed, METH_FASTCALL,
+     "Trigger the event; the value is sent to every waiting process."},
+    {"fail", (PyCFunction)Event_fail, METH_O,
+     "Trigger the event as failed; waiters receive the exception."},
+    {NULL}
+};
+
+static PyGetSetDef Event_getset[] = {
+    {"triggered", (getter)Event_get_triggered, NULL, NULL, NULL},
+    {"processed", (getter)Event_get_processed, NULL, NULL, NULL},
+    {"ok", (getter)Event_get_ok, NULL, NULL, NULL},
+    {"value", (getter)Event_get_value, NULL, NULL, NULL},
+    {"callbacks", (getter)Event_get_callbacks, (setter)Event_set_callbacks,
+     NULL, NULL},
+    {"_value", (getter)Event_get_rawvalue, NULL, NULL, NULL},
+    {"_ok", (getter)Event_get_rawok, NULL, NULL, NULL},
+    {"_scheduled", (getter)Event_get_scheduled, NULL, NULL, NULL},
+    {"_default", (getter)Event_get_default, NULL, NULL, NULL},
+    {NULL}
+};
+
+static PyMemberDef Event_members[] = {
+    {"sim", T_OBJECT, offsetof(EventObject, sim), READONLY, NULL},
+    {NULL}
+};
+
+static PyTypeObject EventType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._ccore.Event",
+    .tp_basicsize = sizeof(EventObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A one-shot occurrence that processes can wait on.",
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Event_init,
+    .tp_dealloc = (destructor)Event_dealloc,
+    .tp_traverse = (traverseproc)Event_traverse,
+    .tp_clear = (inquiry)Event_clear,
+    .tp_methods = Event_methods,
+    .tp_getset = Event_getset,
+    .tp_members = Event_members,
+};
+
+/* ------------------------------------------------------------------ */
+/* Timeout                                                             */
+/* ------------------------------------------------------------------ */
+
+static int
+Timeout_init(TimeoutObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *sim, *dobj, *value = Py_None;
+    static char *kwlist[] = {"sim", "delay", "value", NULL};
+    if (check_ready() < 0)
+        return -1;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O!O|O", kwlist,
+                                     &SimType, &sim, &dobj, &value))
+        return -1;
+    double delay = PyFloat_AsDouble(dobj);
+    if (delay == -1.0 && PyErr_Occurred())
+        return -1;
+    if (delay < 0) {
+        PyErr_Format(SimError, "negative timeout delay: %S", dobj);
+        return -1;
+    }
+    EventObject *ev = &self->ev;
+    Py_XSETREF(ev->sim, Py_NewRef(sim));
+    PyObject *cbs = PyList_New(0);
+    if (!cbs)
+        return -1;
+    Py_XSETREF(ev->callbacks, cbs);
+    Py_XSETREF(ev->value, Py_NewRef(Pending));
+    Py_XSETREF(ev->defval, Py_NewRef(value));
+    ev->ok = 1;
+    ev->scheduled = 0;
+    self->delay = delay;
+    return event_post(ev, delay);
+}
+
+static PyMemberDef Timeout_members[] = {
+    {"delay", T_DOUBLE, offsetof(TimeoutObject, delay), READONLY, NULL},
+    {NULL}
+};
+
+static PyTypeObject TimeoutType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._ccore.Timeout",
+    .tp_basicsize = sizeof(TimeoutObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "An event that fires after a fixed virtual-time delay.",
+    .tp_base = &EventType,
+    .tp_init = (initproc)Timeout_init,
+    .tp_dealloc = (destructor)Event_dealloc,
+    .tp_traverse = (traverseproc)Event_traverse,
+    .tp_clear = (inquiry)Event_clear,
+    .tp_members = Timeout_members,
+};
+
+/* ------------------------------------------------------------------ */
+/* Process                                                             */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+Process_resume_impl(PyObject *self_obj, PyObject *evobj)
+{
+    ProcessObject *self = (ProcessObject *)self_obj;
+    if (self->ev.value != Pending)  /* finished (e.g. interrupted mid-wait) */
+        Py_RETURN_NONE;
+    if (!PyObject_TypeCheck(evobj, &EventType)) {
+        PyErr_SetString(PyExc_TypeError, "_resume expects an Event");
+        return NULL;
+    }
+    Py_CLEAR(self->waiting_on);
+    EventObject *ev = (EventObject *)evobj;
+    if (process_step(self, ev->value, ev->ok) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef Process_resume_def = {
+    "_resume", (PyCFunction)Process_resume_impl, METH_O,
+    "Resume the generator with the fired event's value."};
+
+static int
+Process_init(ProcessObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *sim, *gen, *name = NULL;
+    static char *kwlist[] = {"sim", "gen", "name", NULL};
+    if (check_ready() < 0)
+        return -1;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O!O|U", kwlist,
+                                     &SimType, &sim, &gen, &name))
+        return -1;
+
+    PyObject *send = PyObject_GetAttr(gen, str_send);
+    if (!send) {
+        PyErr_Clear();
+        PyErr_Format(SimError, "Process requires a generator, got %R", gen);
+        return -1;
+    }
+    Py_DECREF(send);
+
+    EventObject *ev = &self->ev;
+    Py_XSETREF(ev->sim, Py_NewRef(sim));
+    PyObject *cbs = PyList_New(0);
+    if (!cbs)
+        return -1;
+    Py_XSETREF(ev->callbacks, cbs);
+    Py_XSETREF(ev->value, Py_NewRef(Pending));
+    Py_XSETREF(ev->defval, Py_NewRef(Py_None));
+    ev->ok = 1;
+    ev->scheduled = 0;
+
+    Py_XSETREF(self->gen, Py_NewRef(gen));
+    if (name && PyUnicode_GET_LENGTH(name) > 0) {
+        Py_XSETREF(self->name, Py_NewRef(name));
+    }
+    else {
+        PyObject *gname = PyObject_GetAttr(gen, str_dunder_name);
+        if (!gname) {
+            PyErr_Clear();
+            gname = PyUnicode_FromString("process");
+            if (!gname)
+                return -1;
+        }
+        Py_XSETREF(self->name, gname);
+    }
+    Py_CLEAR(self->waiting_on);
+    Py_CLEAR(self->kick);
+    Py_CLEAR(self->kick_cbs);
+    PyObject *resume = PyCFunction_New(&Process_resume_def, (PyObject *)self);
+    if (!resume)
+        return -1;
+    Py_XSETREF(self->resume_cb, resume);
+
+    SimObject *s = (SimObject *)sim;
+    s->n_spawned += 1;
+    /* Bootstrap: one call-slot heap entry at the current instant (the
+     * same tie-break cost the pure tier's bootstrap slot pays). */
+    return heap_push(s, s->now, (PyObject *)self, K_START);
+}
+
+static int
+Process_traverse(ProcessObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->ev.sim);
+    Py_VISIT(self->ev.callbacks);
+    Py_VISIT(self->ev.value);
+    Py_VISIT(self->ev.defval);
+    Py_VISIT(self->gen);
+    Py_VISIT(self->name);
+    Py_VISIT(self->waiting_on);
+    Py_VISIT(self->kick);
+    Py_VISIT(self->kick_cbs);
+    Py_VISIT(self->resume_cb);
+    return 0;
+}
+
+static int
+Process_clear(ProcessObject *self)
+{
+    Event_clear(&self->ev);
+    Py_CLEAR(self->gen);
+    Py_CLEAR(self->name);
+    Py_CLEAR(self->waiting_on);
+    Py_CLEAR(self->kick);
+    Py_CLEAR(self->kick_cbs);
+    Py_CLEAR(self->resume_cb);
+    return 0;
+}
+
+static void
+Process_dealloc(ProcessObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Process_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* Fail the process with the currently-raised exception (normalized),
+ * re-raising KeyboardInterrupt/SystemExit.  Returns 0 on handled. */
+static int
+process_fail_from_err(ProcessObject *self)
+{
+    if (PyErr_ExceptionMatches(PyExc_KeyboardInterrupt) ||
+        PyErr_ExceptionMatches(PyExc_SystemExit))
+        return -1;
+    PyObject *etype, *evalue, *tb;
+    PyErr_Fetch(&etype, &evalue, &tb);
+    PyErr_NormalizeException(&etype, &evalue, &tb);
+    if (tb)
+        PyException_SetTraceback(evalue, tb);
+    int st = event_complete(&self->ev, evalue, 0);
+    Py_XDECREF(etype);
+    Py_XDECREF(evalue);
+    Py_XDECREF(tb);
+    return st;
+}
+
+static int
+process_step(ProcessObject *self, PyObject *sendval, int ok)
+{
+    PyObject *gen = self->gen;
+    PyObject *target = NULL;
+    PyObject *val = Py_NewRef(sendval ? sendval : Py_None);
+
+    for (;;) {
+        if (ok) {
+            PySendResult r = PyIter_Send(gen, val, &target);
+            Py_CLEAR(val);
+            if (r == PYGEN_RETURN) {
+                int st = event_complete(&self->ev, target, 1);
+                Py_DECREF(target);
+                return st;
+            }
+            if (r == PYGEN_ERROR)
+                return process_fail_from_err(self);
+        }
+        else {
+            target = PyObject_CallMethodOneArg(gen, str_throw, val);
+            Py_CLEAR(val);
+            if (!target) {
+                if (PyErr_ExceptionMatches(PyExc_StopIteration)) {
+                    PyObject *etype, *evalue, *tb;
+                    PyErr_Fetch(&etype, &evalue, &tb);
+                    PyErr_NormalizeException(&etype, &evalue, &tb);
+                    PyObject *retval = evalue
+                        ? PyObject_GetAttr(evalue, str_value)
+                        : Py_NewRef(Py_None);
+                    Py_XDECREF(etype);
+                    Py_XDECREF(evalue);
+                    Py_XDECREF(tb);
+                    if (!retval)
+                        return -1;
+                    int st = event_complete(&self->ev, retval, 1);
+                    Py_DECREF(retval);
+                    return st;
+                }
+                return process_fail_from_err(self);
+            }
+        }
+        if (PyObject_TypeCheck(target, &EventType))
+            break;
+        /* Misuse: throw into the generator and keep driving it. */
+        PyObject *msg = PyUnicode_FromFormat(
+            "process %R yielded %R, expected an Event", self->name, target);
+        Py_CLEAR(target);
+        if (!msg)
+            return -1;
+        PyObject *exc = PyObject_CallOneArg(SimError, msg);
+        Py_DECREF(msg);
+        if (!exc)
+            return -1;
+        val = exc;
+        ok = 0;
+    }
+
+    EventObject *tev = (EventObject *)target;
+    if (tev->callbacks == NULL) {
+        /* Already fired and processed: resume next tick via the
+         * recycled per-process kick event. */
+        EventObject *kick = (EventObject *)self->kick;
+        if (kick == NULL || kick->callbacks != NULL) {
+            /* First use, or the previous kick is still in the heap
+             * (an interrupt resumed us early): allocate. */
+            kick = event_new_bare(&EventType, (SimObject *)self->ev.sim);
+            if (!kick) { Py_DECREF(target); return -1; }
+            if (PyList_Append(kick->callbacks, self->resume_cb) < 0) {
+                Py_DECREF(kick);
+                Py_DECREF(target);
+                return -1;
+            }
+            Py_XSETREF(self->kick, (PyObject *)kick);
+            Py_XSETREF(self->kick_cbs, Py_NewRef(kick->callbacks));
+        }
+        else {
+            kick->scheduled = 0;
+            Py_XSETREF(kick->callbacks, Py_NewRef(self->kick_cbs));
+        }
+        Py_XSETREF(kick->value, Py_NewRef(tev->value));
+        kick->ok = tev->ok;
+        if (event_post(kick, 0.0) < 0) { Py_DECREF(target); return -1; }
+        Py_XSETREF(self->waiting_on, Py_NewRef((PyObject *)kick));
+    }
+    else {
+        if (PyList_Append(tev->callbacks, self->resume_cb) < 0) {
+            Py_DECREF(target);
+            return -1;
+        }
+        Py_XSETREF(self->waiting_on, Py_NewRef(target));
+    }
+    Py_DECREF(target);
+    return 0;
+}
+
+static PyObject *
+Process_interrupt(ProcessObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs > 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "interrupt() takes at most 1 argument");
+        return NULL;
+    }
+    PyObject *cause = nargs ? args[0] : Py_None;
+    if (self->ev.value != Pending)
+        Py_RETURN_NONE;
+    PyObject *waited = self->waiting_on;
+    if (waited) {
+        EventObject *wev = (EventObject *)waited;
+        if (wev->value == Pending && wev->callbacks != NULL) {
+            /* Detach from the event we were waiting on (mirrors the
+             * pure tier's list.remove, ignoring absence). */
+            Py_ssize_t n = PyList_GET_SIZE(wev->callbacks);
+            for (Py_ssize_t i = 0; i < n; i++) {
+                if (PyList_GET_ITEM(wev->callbacks, i) == self->resume_cb) {
+                    if (PyList_SetSlice(wev->callbacks, i, i + 1, NULL) < 0)
+                        return NULL;
+                    break;
+                }
+            }
+        }
+    }
+    Py_CLEAR(self->waiting_on);
+    EventObject *kick = event_new_bare(&EventType, (SimObject *)self->ev.sim);
+    if (!kick)
+        return NULL;
+    if (PyList_Append(kick->callbacks, self->resume_cb) < 0) {
+        Py_DECREF(kick);
+        return NULL;
+    }
+    PyObject *exc = PyObject_CallOneArg(InterruptCls, cause);
+    if (!exc) {
+        Py_DECREF(kick);
+        return NULL;
+    }
+    Py_XSETREF(kick->value, exc);  /* steals exc */
+    kick->ok = 0;
+    int st = event_post(kick, 0.0);
+    Py_DECREF(kick);
+    if (st < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Process_get_is_alive(ProcessObject *self, void *closure)
+{
+    return PyBool_FromLong(self->ev.value == Pending);
+}
+
+static PyObject *
+Process_get_resume(ProcessObject *self, void *closure)
+{
+    return Py_NewRef(self->resume_cb);
+}
+
+static PyMethodDef Process_methods[] = {
+    {"interrupt", (PyCFunction)(void (*)(void))Process_interrupt,
+     METH_FASTCALL,
+     "Throw Interrupt into the process at the current instant."},
+    {NULL}
+};
+
+static PyGetSetDef Process_getset[] = {
+    {"is_alive", (getter)Process_get_is_alive, NULL, NULL, NULL},
+    {"_resume", (getter)Process_get_resume, NULL, NULL, NULL},
+    {NULL}
+};
+
+static PyMemberDef Process_members[] = {
+    {"gen", T_OBJECT, offsetof(ProcessObject, gen), READONLY, NULL},
+    {"name", T_OBJECT, offsetof(ProcessObject, name), READONLY, NULL},
+    {NULL}
+};
+
+static PyTypeObject ProcessType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._ccore.Process",
+    .tp_basicsize = sizeof(ProcessObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Wraps a generator; the process event fires when it returns.",
+    .tp_base = &EventType,
+    .tp_init = (initproc)Process_init,
+    .tp_dealloc = (destructor)Process_dealloc,
+    .tp_traverse = (traverseproc)Process_traverse,
+    .tp_clear = (inquiry)Process_clear,
+    .tp_methods = Process_methods,
+    .tp_getset = Process_getset,
+    .tp_members = Process_members,
+};
+
+/* ------------------------------------------------------------------ */
+/* Dispatch                                                            */
+/* ------------------------------------------------------------------ */
+
+/* Run one popped heap item.  Steals nothing (caller owns item). */
+static int
+dispatch_item(SimObject *sim, PyObject *item, int kind)
+{
+    if (kind == K_CALL) {
+        PyObject *r = PyObject_CallNoArgs(item);
+        if (!r)
+            return -1;
+        Py_DECREF(r);
+        return 0;
+    }
+    if (kind == K_START) {
+        ProcessObject *p = (ProcessObject *)item;
+        if (p->ev.value != Pending)  /* interrupted before bootstrap */
+            return 0;
+        return process_step(p, Py_None, 1);
+    }
+    EventObject *ev = (EventObject *)item;
+    if (ev->value == Pending) {
+        /* Scheduled directly (Timeout): fire now with its default. */
+        Py_XSETREF(ev->value, Py_NewRef(ev->defval));
+    }
+    PyObject *cbs = ev->callbacks;
+    ev->callbacks = NULL;  /* ownership moves to this frame */
+    if (cbs == NULL)
+        return 0;
+    /* Re-read the size every iteration, like the pure tier's list
+     * iterator — a callback may reattach this same list (kick reuse). */
+    for (Py_ssize_t i = 0; i < PyList_GET_SIZE(cbs); i++) {
+        PyObject *cb = Py_NewRef(PyList_GET_ITEM(cbs, i));
+        PyObject *r = PyObject_CallOneArg(cb, (PyObject *)ev);
+        Py_DECREF(cb);
+        if (!r) {
+            Py_DECREF(cbs);
+            return -1;
+        }
+        Py_DECREF(r);
+    }
+    Py_DECREF(cbs);
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Simulator                                                           */
+/* ------------------------------------------------------------------ */
+
+static int
+Sim_init(SimObject *self, PyObject *args, PyObject *kwds)
+{
+    if ((args && PyTuple_GET_SIZE(args)) || (kwds && PyDict_GET_SIZE(kwds))) {
+        PyErr_SetString(PyExc_TypeError, "Simulator() takes no arguments");
+        return -1;
+    }
+    self->now = 0.0;
+    self->seq = 0;
+    self->n_spawned = self->n_fast = self->n_fallback = 0;
+    self->running = 0;
+    Py_CLEAR(self->obs);
+    for (Py_ssize_t i = 0; i < self->hlen; i++)
+        Py_DECREF(self->hitem[i]);
+    self->hlen = 0;
+    return 0;
+}
+
+static int
+Sim_traverse(SimObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->obs);
+    for (Py_ssize_t i = 0; i < self->hlen; i++)
+        Py_VISIT(self->hitem[i]);
+    return 0;
+}
+
+static int
+Sim_clear(SimObject *self)
+{
+    Py_CLEAR(self->obs);
+    Py_ssize_t n = self->hlen;
+    self->hlen = 0;
+    for (Py_ssize_t i = 0; i < n; i++)
+        Py_CLEAR(self->hitem[i]);
+    return 0;
+}
+
+static void
+Sim_dealloc(SimObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Sim_clear(self);
+    PyMem_Free(self->ht);
+    PyMem_Free(self->hseq);
+    PyMem_Free(self->hitem);
+    PyMem_Free(self->hkind);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+Sim_event(SimObject *self, PyObject *noargs)
+{
+    if (check_ready() < 0)
+        return NULL;
+    return (PyObject *)event_new_bare(&EventType, self);
+}
+
+/* timeout(delay, value=None) — the hottest boxed allocation. */
+static PyObject *
+Sim_timeout(SimObject *self, PyObject *const *args, Py_ssize_t nargs,
+            PyObject *kwnames)
+{
+    PyObject *value = Py_None;
+    Py_ssize_t npos = nargs;
+    if (kwnames) {
+        Py_ssize_t nkw = PyTuple_GET_SIZE(kwnames);
+        for (Py_ssize_t i = 0; i < nkw; i++) {
+            PyObject *nm = PyTuple_GET_ITEM(kwnames, i);
+            if (PyUnicode_CompareWithASCIIString(nm, "value") == 0)
+                value = args[nargs + i];
+            else {
+                PyErr_Format(PyExc_TypeError,
+                             "timeout() got an unexpected keyword argument "
+                             "%R", nm);
+                return NULL;
+            }
+        }
+    }
+    if (npos < 1 || npos > 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "timeout() takes 1 or 2 positional arguments");
+        return NULL;
+    }
+    if (npos == 2)
+        value = args[1];
+    double delay = PyFloat_AsDouble(args[0]);
+    if (delay == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (delay < 0) {
+        PyErr_Format(SimError, "negative timeout delay: %S", args[0]);
+        return NULL;
+    }
+    if (check_ready() < 0)
+        return NULL;
+    TimeoutObject *ev = (TimeoutObject *)event_new_bare(&TimeoutType, self);
+    if (!ev)
+        return NULL;
+    Py_XSETREF(ev->ev.defval, Py_NewRef(value));
+    ev->delay = delay;
+    ev->ev.scheduled = 1;
+    if (heap_push(self, self->now + delay, (PyObject *)ev, K_EVENT) < 0) {
+        Py_DECREF(ev);
+        return NULL;
+    }
+    return (PyObject *)ev;
+}
+
+static PyObject *
+Sim_after_call(SimObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "after_call() takes exactly 2 arguments");
+        return NULL;
+    }
+    double delay = PyFloat_AsDouble(args[0]);
+    if (delay == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (delay < 0) {
+        PyErr_Format(SimError, "negative after_call delay: %S", args[0]);
+        return NULL;
+    }
+    if (heap_push(self, self->now + delay, args[1], K_CALL) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Sim_after(SimObject *self, PyObject *const *args, Py_ssize_t nargs,
+          PyObject *kwnames)
+{
+    PyObject *value = Py_None;
+    if (kwnames) {
+        Py_ssize_t nkw = PyTuple_GET_SIZE(kwnames);
+        for (Py_ssize_t i = 0; i < nkw; i++) {
+            PyObject *nm = PyTuple_GET_ITEM(kwnames, i);
+            if (PyUnicode_CompareWithASCIIString(nm, "value") == 0)
+                value = args[nargs + i];
+            else {
+                PyErr_Format(PyExc_TypeError,
+                             "after() got an unexpected keyword argument %R",
+                             nm);
+                return NULL;
+            }
+        }
+    }
+    if (nargs < 2 || nargs > 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "after() takes 2 or 3 positional arguments");
+        return NULL;
+    }
+    if (nargs == 3)
+        value = args[2];
+    PyObject *targs[3] = {args[0], value, NULL};
+    PyObject *ev = Sim_timeout(self, targs, 2, NULL);
+    if (!ev)
+        return NULL;
+    if (PyList_Append(((EventObject *)ev)->callbacks, args[1]) < 0) {
+        Py_DECREF(ev);
+        return NULL;
+    }
+    return ev;
+}
+
+static PyObject *
+Sim_call_at(SimObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "call_at() takes exactly 2 arguments");
+        return NULL;
+    }
+    double when = PyFloat_AsDouble(args[0]);
+    if (when == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (when < self->now) {
+        PyObject *nowobj = PyFloat_FromDouble(self->now);
+        if (nowobj) {
+            PyErr_Format(SimError, "call_at past time %S < now %S",
+                         args[0], nowobj);
+            Py_DECREF(nowobj);
+        }
+        return NULL;
+    }
+    PyObject *wrapper = PyObject_CallOneArg(DropArgHelper, args[1]);
+    if (!wrapper)
+        return NULL;
+    PyObject *dobj = PyFloat_FromDouble(when - self->now);
+    if (!dobj) { Py_DECREF(wrapper); return NULL; }
+    PyObject *targs[1] = {dobj};
+    PyObject *ev = Sim_timeout(self, targs, 1, NULL);
+    Py_DECREF(dobj);
+    if (!ev) { Py_DECREF(wrapper); return NULL; }
+    int st = PyList_Append(((EventObject *)ev)->callbacks, wrapper);
+    Py_DECREF(wrapper);
+    if (st < 0) { Py_DECREF(ev); return NULL; }
+    return ev;
+}
+
+static PyObject *
+Sim_spawn(SimObject *self, PyObject *const *args, Py_ssize_t nargs,
+          PyObject *kwnames)
+{
+    PyObject *name = NULL;
+    if (kwnames) {
+        Py_ssize_t nkw = PyTuple_GET_SIZE(kwnames);
+        for (Py_ssize_t i = 0; i < nkw; i++) {
+            PyObject *nm = PyTuple_GET_ITEM(kwnames, i);
+            if (PyUnicode_CompareWithASCIIString(nm, "name") == 0)
+                name = args[nargs + i];
+            else {
+                PyErr_Format(PyExc_TypeError,
+                             "spawn() got an unexpected keyword argument %R",
+                             nm);
+                return NULL;
+            }
+        }
+    }
+    if (nargs < 1 || nargs > 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "spawn() takes 1 or 2 positional arguments");
+        return NULL;
+    }
+    if (nargs == 2)
+        name = args[1];
+    PyObject *proc;
+    if (name)
+        proc = PyObject_CallFunctionObjArgs((PyObject *)&ProcessType,
+                                            (PyObject *)self, args[0], name,
+                                            NULL);
+    else
+        proc = PyObject_CallFunctionObjArgs((PyObject *)&ProcessType,
+                                            (PyObject *)self, args[0], NULL);
+    if (!proc)
+        return NULL;
+    if (self->obs && self->obs != Py_None && SpawnObsHook) {
+        PyObject *r = PyObject_CallFunctionObjArgs(SpawnObsHook,
+                                                   (PyObject *)self, proc,
+                                                   NULL);
+        if (!r) { Py_DECREF(proc); return NULL; }
+        Py_DECREF(r);
+    }
+    return proc;
+}
+
+static PyObject *
+Sim_all_of(SimObject *self, PyObject *events)
+{
+    if (!AllOfCls) {
+        PyErr_SetString(PyExc_RuntimeError, "_ccore helpers not initialized");
+        return NULL;
+    }
+    return PyObject_CallFunctionObjArgs(AllOfCls, (PyObject *)self, events,
+                                        NULL);
+}
+
+static PyObject *
+Sim_any_of(SimObject *self, PyObject *events)
+{
+    if (!AnyOfCls) {
+        PyErr_SetString(PyExc_RuntimeError, "_ccore helpers not initialized");
+        return NULL;
+    }
+    return PyObject_CallFunctionObjArgs(AnyOfCls, (PyObject *)self, events,
+                                        NULL);
+}
+
+static PyObject *
+Sim_post(SimObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *ev;
+    double delay = 0.0;
+    static char *kwlist[] = {"event", "delay", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O!|d", kwlist,
+                                     &EventType, &ev, &delay))
+        return NULL;
+    if (event_post((EventObject *)ev, delay) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Sim_idle_at_now(SimObject *self, PyObject *noargs)
+{
+    return PyBool_FromLong(self->hlen == 0 || self->ht[0] > self->now);
+}
+
+static PyObject *
+Sim_stats(SimObject *self, PyObject *noargs)
+{
+    PyObject *d = PyDict_New();
+    if (!d)
+        return NULL;
+    int bad = 0;
+    PyObject *v;
+#define SET(key, val) \
+    do { \
+        v = PyLong_FromLongLong(val); \
+        if (!v || PyDict_SetItemString(d, key, v) < 0) bad = 1; \
+        Py_XDECREF(v); \
+    } while (0)
+    SET("events_processed", self->seq - (long long)self->hlen);
+    SET("processes_spawned", self->n_spawned);
+    SET("spawns", self->n_spawned);
+    SET("fast_completions", self->n_fast);
+    SET("fallbacks", self->n_fallback);
+#undef SET
+    if (bad) { Py_DECREF(d); return NULL; }
+    return d;
+}
+
+static PyObject *
+Sim_step(SimObject *self, PyObject *noargs)
+{
+    if (self->hlen == 0) {
+        PyErr_SetString(PyExc_IndexError, "step from an empty schedule");
+        return NULL;
+    }
+    double when;
+    int kind;
+    PyObject *item = heap_pop(self, &when, &kind);
+    self->now = when;
+    int st = dispatch_item(self, item, kind);
+    Py_DECREF(item);
+    if (st < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Sim_run(SimObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *untilobj = Py_None;
+    static char *kwlist[] = {"until", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|O", kwlist, &untilobj))
+        return NULL;
+    int has_until = untilobj != Py_None;
+    double until = 0.0;
+    if (has_until) {
+        until = PyFloat_AsDouble(untilobj);
+        if (until == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    if (self->running) {
+        PyErr_SetString(SimError, "simulator is not reentrant");
+        return NULL;
+    }
+    self->running = 1;
+    int err = 0;
+    while (self->hlen) {
+        double when = self->ht[0];
+        if (has_until && when > until) {
+            self->now = until;
+            break;
+        }
+        self->now = when;
+        /* Batched same-instant drain: clock store + horizon check once
+         * per instant. */
+        while (self->hlen && self->ht[0] == when) {
+            double t;
+            int kind;
+            PyObject *item = heap_pop(self, &t, &kind);
+            err = dispatch_item(self, item, kind);
+            Py_DECREF(item);
+            if (err)
+                goto done;
+        }
+    }
+done:
+    self->running = 0;
+    if (err)
+        return NULL;
+    return PyFloat_FromDouble(self->now);
+}
+
+static PyObject *
+Sim_run_process(SimObject *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *gen, *name = NULL;
+    static char *kwlist[] = {"gen", "name", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O|U", kwlist, &gen, &name))
+        return NULL;
+    PyObject *sargs[2] = {gen, name};
+    PyObject *procobj = Sim_spawn(self, sargs, name ? 2 : 1, NULL);
+    if (!procobj)
+        return NULL;
+    ProcessObject *proc = (ProcessObject *)procobj;
+    if (self->running) {
+        Py_DECREF(procobj);
+        PyErr_SetString(SimError, "simulator is not reentrant");
+        return NULL;
+    }
+    self->running = 1;
+    int err = 0;
+    /* Stop as soon as the process completes so orphaned timers do not
+     * advance the clock further. */
+    while (self->hlen && proc->ev.value == Pending) {
+        double when = self->ht[0];
+        self->now = when;
+        while (self->hlen && self->ht[0] == when &&
+               proc->ev.value == Pending) {
+            double t;
+            int kind;
+            PyObject *item = heap_pop(self, &t, &kind);
+            err = dispatch_item(self, item, kind);
+            Py_DECREF(item);
+            if (err)
+                goto done;
+        }
+    }
+done:
+    self->running = 0;
+    if (err) {
+        Py_DECREF(procobj);
+        return NULL;
+    }
+    if (proc->ev.value == Pending) {
+        PyObject *nowobj = PyFloat_FromDouble(self->now);
+        if (nowobj) {
+            PyErr_Format(SimError,
+                         "deadlock: process %R never finished "
+                         "(simulation ran dry at t=%S)",
+                         proc->name, nowobj);
+            Py_DECREF(nowobj);
+        }
+        Py_DECREF(procobj);
+        return NULL;
+    }
+    if (!proc->ev.ok) {
+        PyObject *exc = proc->ev.value;
+        PyErr_SetObject(PyExceptionInstance_Class(exc), exc);
+        Py_DECREF(procobj);
+        return NULL;
+    }
+    PyObject *result = Py_NewRef(proc->ev.value);
+    Py_DECREF(procobj);
+    return result;
+}
+
+static PyMethodDef Sim_methods[] = {
+    {"event", (PyCFunction)Sim_event, METH_NOARGS,
+     "Return a fresh pending event."},
+    {"timeout", (PyCFunction)(void (*)(void))Sim_timeout,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Return an event that fires after a fixed delay."},
+    {"after_call", (PyCFunction)(void (*)(void))Sim_after_call, METH_FASTCALL,
+     "Schedule bare fn() as a call slot, delay seconds out."},
+    {"after", (PyCFunction)(void (*)(void))Sim_after,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Schedule fn(event) to run delay seconds from now."},
+    {"call_at", (PyCFunction)(void (*)(void))Sim_call_at, METH_FASTCALL,
+     "Run fn at absolute virtual time when (>= now)."},
+    {"spawn", (PyCFunction)(void (*)(void))Sim_spawn,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Start a new simulation process from a generator."},
+    {"all_of", (PyCFunction)Sim_all_of, METH_O,
+     "An event that fires when all the given events have fired."},
+    {"any_of", (PyCFunction)Sim_any_of, METH_O,
+     "An event that fires when any of the given events fires."},
+    {"_post", (PyCFunction)(void (*)(void))Sim_post,
+     METH_VARARGS | METH_KEYWORDS,
+     "Schedule a triggered event for dispatch delay seconds out."},
+    {"idle_at_now", (PyCFunction)Sim_idle_at_now, METH_NOARGS,
+     "True when nothing further is scheduled at the current instant."},
+    {"stats", (PyCFunction)Sim_stats, METH_NOARGS,
+     "Dispatch and fast-path counters."},
+    {"step", (PyCFunction)Sim_step, METH_NOARGS,
+     "Process the next scheduled event (advances the clock)."},
+    {"run", (PyCFunction)(void (*)(void))Sim_run,
+     METH_VARARGS | METH_KEYWORDS,
+     "Run until the heap is empty or virtual time passes `until`."},
+    {"run_process", (PyCFunction)(void (*)(void))Sim_run_process,
+     METH_VARARGS | METH_KEYWORDS,
+     "Spawn gen, run to completion, and return its value."},
+    {NULL}
+};
+
+static PyMemberDef Sim_members[] = {
+    {"now", T_DOUBLE, offsetof(SimObject, now), 0, NULL},
+    {"obs", T_OBJECT, offsetof(SimObject, obs), 0, NULL},
+    {"_seq", T_LONGLONG, offsetof(SimObject, seq), READONLY, NULL},
+    {"_n_spawned", T_LONGLONG, offsetof(SimObject, n_spawned), 0, NULL},
+    {"_n_fast", T_LONGLONG, offsetof(SimObject, n_fast), 0, NULL},
+    {"_n_fallback", T_LONGLONG, offsetof(SimObject, n_fallback), 0, NULL},
+    {NULL}
+};
+
+static PyTypeObject SimType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._ccore.Simulator",
+    .tp_basicsize = sizeof(SimObject),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "The event loop over the struct-of-arrays slot store.",
+    .tp_new = PyType_GenericNew,
+    .tp_init = (initproc)Sim_init,
+    .tp_dealloc = (destructor)Sim_dealloc,
+    .tp_traverse = (traverseproc)Sim_traverse,
+    .tp_clear = (inquiry)Sim_clear,
+    .tp_methods = Sim_methods,
+    .tp_members = Sim_members,
+};
+
+/* ------------------------------------------------------------------ */
+/* Module functions                                                    */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+mod_fire(PyObject *mod, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs < 1 || nargs > 2) {
+        PyErr_SetString(PyExc_TypeError, "fire() takes 1 or 2 arguments");
+        return NULL;
+    }
+    if (!PyObject_TypeCheck(args[0], &EventType)) {
+        PyErr_SetString(PyExc_TypeError, "fire() expects an Event");
+        return NULL;
+    }
+    EventObject *ev = (EventObject *)args[0];
+    PyObject *value = nargs == 2 ? args[1] : Py_None;
+    if (ev->value != Pending) {
+        PyErr_SetString(SimError, "event already triggered");
+        return NULL;
+    }
+    Py_XSETREF(ev->value, Py_NewRef(value));
+    ev->ok = 1;
+    ev->scheduled = 1;
+    ((SimObject *)ev->sim)->n_fast += 1;
+    PyObject *cbs = ev->callbacks;
+    ev->callbacks = NULL;
+    if (cbs != NULL) {
+        for (Py_ssize_t i = 0; i < PyList_GET_SIZE(cbs); i++) {
+            PyObject *cb = Py_NewRef(PyList_GET_ITEM(cbs, i));
+            PyObject *r = PyObject_CallOneArg(cb, (PyObject *)ev);
+            Py_DECREF(cb);
+            if (!r) {
+                Py_DECREF(cbs);
+                return NULL;
+            }
+            Py_DECREF(r);
+        }
+        Py_DECREF(cbs);
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+mod_chain(PyObject *mod, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "chain() takes exactly 2 arguments");
+        return NULL;
+    }
+    if (!PyObject_TypeCheck(args[0], &EventType)) {
+        PyErr_SetString(PyExc_TypeError, "chain() expects an Event");
+        return NULL;
+    }
+    EventObject *ev = (EventObject *)args[0];
+    PyObject *cbs = ev->callbacks;
+    if (cbs == NULL) {
+        PyObject *r = PyObject_CallOneArg(args[1], (PyObject *)ev);
+        if (!r)
+            return NULL;
+        Py_DECREF(r);
+    }
+    else if (PyList_Append(cbs, args[1]) < 0)
+        return NULL;
+    return Py_NewRef((PyObject *)ev);
+}
+
+static PyObject *
+mod_set_helpers(PyObject *mod, PyObject *args, PyObject *kwds)
+{
+    PyObject *pending, *simerror, *interrupt, *allof, *anyof, *spawn_obs,
+        *drop_arg;
+    static char *kwlist[] = {"pending", "simerror", "interrupt", "allof",
+                             "anyof", "spawn_obs", "drop_arg", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OOOOOOO", kwlist,
+                                     &pending, &simerror, &interrupt, &allof,
+                                     &anyof, &spawn_obs, &drop_arg))
+        return NULL;
+    Py_XSETREF(Pending, Py_NewRef(pending));
+    Py_XSETREF(SimError, Py_NewRef(simerror));
+    Py_XSETREF(InterruptCls, Py_NewRef(interrupt));
+    Py_XSETREF(AllOfCls, Py_NewRef(allof));
+    Py_XSETREF(AnyOfCls, Py_NewRef(anyof));
+    Py_XSETREF(SpawnObsHook, Py_NewRef(spawn_obs));
+    Py_XSETREF(DropArgHelper, Py_NewRef(drop_arg));
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef mod_methods[] = {
+    {"fire", (PyCFunction)(void (*)(void))mod_fire, METH_FASTCALL,
+     "Trigger an event and run its callbacks inline, bypassing the heap."},
+    {"chain", (PyCFunction)(void (*)(void))mod_chain, METH_FASTCALL,
+     "Run fn(ev) when ev fires (immediately if already processed)."},
+    {"_set_helpers", (PyCFunction)(void (*)(void))mod_set_helpers,
+     METH_VARARGS | METH_KEYWORDS,
+     "Inject the shared sentinel, exception types, and Python helpers."},
+    {NULL}
+};
+
+static struct PyModuleDef ccoremodule = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.sim._ccore",
+    .m_doc = "Compiled tier of the discrete-event core (see engine.py).",
+    .m_size = -1,
+    .m_methods = mod_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__ccore(void)
+{
+    str_send = PyUnicode_InternFromString("send");
+    str_throw = PyUnicode_InternFromString("throw");
+    str_value = PyUnicode_InternFromString("value");
+    str_dunder_name = PyUnicode_InternFromString("__name__");
+    if (!str_send || !str_throw || !str_value || !str_dunder_name)
+        return NULL;
+    if (PyType_Ready(&SimType) < 0 || PyType_Ready(&EventType) < 0 ||
+        PyType_Ready(&TimeoutType) < 0 || PyType_Ready(&ProcessType) < 0)
+        return NULL;
+    PyObject *m = PyModule_Create(&ccoremodule);
+    if (!m)
+        return NULL;
+    if (PyModule_AddObjectRef(m, "Simulator", (PyObject *)&SimType) < 0 ||
+        PyModule_AddObjectRef(m, "Event", (PyObject *)&EventType) < 0 ||
+        PyModule_AddObjectRef(m, "Timeout", (PyObject *)&TimeoutType) < 0 ||
+        PyModule_AddObjectRef(m, "Process", (PyObject *)&ProcessType) < 0) {
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

@@ -1,0 +1,78 @@
+"""Compiled tier: loads ``_ccore`` and finishes its Python-side wiring.
+
+The C extension implements the hot core (event store, dispatch loop,
+generator protocol); this module supplies the pieces that belong in
+Python — the shared exception types and PENDING sentinel (imported
+from ``_pyengine`` so ``isinstance`` and identity checks agree across
+tiers), the AllOf/AnyOf condition classes (Python subclasses of the C
+Event via the shared factory), and the spawn-tracing hook — then
+injects them into the extension via ``_ccore._set_helpers``.
+
+Importing this module raises when no compiler/headers are available;
+``engine.py`` turns that into a fallback (``REPRO_ENGINE=auto``) or a
+hard error (``REPRO_ENGINE=compiled``).
+"""
+
+from __future__ import annotations
+
+from ._build import load_ccore
+from ._conditions import build_conditions
+from ._pyengine import PENDING, Interrupt, SimulationError
+
+_ccore = load_ccore()
+
+Event = _ccore.Event
+Timeout = _ccore.Timeout
+Process = _ccore.Process
+Simulator = _ccore.Simulator
+fire = _ccore.fire
+chain = _ccore.chain
+
+AllOf, AnyOf = build_conditions(Event)
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Simulator",
+    "Interrupt",
+    "SimulationError",
+    "chain",
+    "fire",
+    "PENDING",
+]
+
+
+def _spawn_obs(sim, proc):
+    """Emit proc.spawn / proc.finish records for a traced spawn.
+
+    Called by the C core only when ``sim.obs`` is set; mirrors the pure
+    tier's spawn() observability branch exactly (same record kinds,
+    same pid numbering from the spawn counter).
+    """
+    obs = sim.obs
+    if obs is None or not obs.enabled:
+        return
+    pid = sim._n_spawned
+    obs.emit(sim.now, "proc.spawn", pid=pid, name=proc.name)
+    proc.callbacks.append(
+        lambda ev, p=proc, i=pid: obs.emit(
+            sim.now, "proc.finish", pid=i, name=p.name, ok=p._ok))
+
+
+def _drop_arg(fn):
+    """Adapt a zero-arg fn into an event callback (for call_at)."""
+    return lambda _ev: fn()
+
+
+_ccore._set_helpers(
+    pending=PENDING,
+    simerror=SimulationError,
+    interrupt=Interrupt,
+    allof=AllOf,
+    anyof=AnyOf,
+    spawn_obs=_spawn_obs,
+    drop_arg=_drop_arg,
+)

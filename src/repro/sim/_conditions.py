@@ -1,0 +1,70 @@
+"""Composite events (AllOf / AnyOf), parameterized over the Event base.
+
+The condition classes are ordinary Python subclasses of :class:`Event`
+— they only use the public event surface (``triggered``, ``_value``,
+``_ok``, ``callbacks``, ``succeed``/``fail``), so the same definitions
+work over either tier's Event: :func:`build_conditions` is called once
+by ``_pyengine`` with the pure-Python base and once by ``_cengine``
+with the compiled base.  Conditions are control-plane objects (a
+handful per collective episode, not per message), so a Python-level
+implementation costs nothing measurable even on the compiled tier.
+"""
+
+from __future__ import annotations
+
+__all__ = ["build_conditions"]
+
+
+def build_conditions(Event):
+    """Return ``(AllOf, AnyOf)`` subclasses of the given Event base."""
+
+    class _Condition(Event):
+        """Base for AllOf/AnyOf composite events."""
+
+        __slots__ = ("events", "_n_fired")
+
+        def __init__(self, sim, events):
+            super().__init__(sim)
+            self.events = list(events)
+            self._n_fired = 0
+            if not self.events:
+                self.succeed([])
+                return
+            for ev in self.events:
+                if ev.triggered:
+                    self._on_fire(ev)
+                else:
+                    ev.callbacks.append(self._on_fire)
+
+        def _on_fire(self, ev):  # pragma: no cover - overridden
+            raise NotImplementedError
+
+    class AllOf(_Condition):
+        """Fires when *all* component events have fired; value is their values."""
+
+        __slots__ = ()
+
+        def _on_fire(self, ev):
+            if self.triggered:
+                return
+            if not ev._ok:
+                self.fail(ev._value)
+                return
+            self._n_fired += 1
+            if self._n_fired == len(self.events):
+                self.succeed([e._value for e in self.events])
+
+    class AnyOf(_Condition):
+        """Fires as soon as *any* component fires; value is (event, value)."""
+
+        __slots__ = ()
+
+        def _on_fire(self, ev):
+            if self.triggered:
+                return
+            if not ev._ok:
+                self.fail(ev._value)
+                return
+            self.succeed((ev, ev._value))
+
+    return AllOf, AnyOf

@@ -1,0 +1,562 @@
+"""Pure-Python tier of the discrete-event core.
+
+The engine is an event-heap scheduler: simulated activities are Python
+generators (wrapped by :class:`Process`) that yield :class:`Event`
+objects, and the engine resumes a generator when the event it waits on
+fires.  Virtual time is a ``float`` in seconds and the engine is fully
+deterministic — events scheduled for the same instant fire in schedule
+order (a monotonically increasing tie-break counter guarantees this).
+
+This module is the **portable tier** of a two-tier core (see
+``engine.py`` for tier selection and ``_ccore.c`` for the compiled
+tier).  Relative to the historical boxed engine (``_legacy.py``) the
+hot path is reorganized around the *event store* contract both tiers
+share:
+
+* heap entries are compact ``(time, tiebreak, item)`` triples where
+  ``item`` is either a boxed :class:`Event` **or a bare callable** — a
+  *call slot*.  Engine-internal one-shot steps (process bootstraps,
+  analytic resource holds, deferred chain launches) schedule a call
+  slot via :meth:`Simulator.after_call` instead of boxing a Timeout,
+  so the hottest schedule sites allocate no event object at all;
+* the run loop drains all events of one instant in a batched dispatch
+  run: the clock store and the ``until`` horizon check happen once per
+  *instant*, not once per event;
+* a finished process's recycled kick event (slot reuse for the
+  already-processed-target resume) is retained from the previous
+  engine and generalized by the call-slot store above.
+
+Counter contract: every heap entry — boxed or call slot — bumps the
+tie-break counter exactly once, so ``Simulator.stats()`` reports the
+same ``events_processed`` for a given workload as the legacy engine
+(each legacy boxed entry maps to exactly one entry here).
+
+The compiled tier implements this same store with C-native parallel
+arrays (times / tie-breaks / items) and a C event record; the two tiers
+are drop-in interchangeable and golden-suite verified against each
+other (``REPRO_ENGINE=python|compiled``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ._conditions import build_conditions
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Simulator",
+    "Interrupt",
+    "SimulationError",
+    "chain",
+    "fire",
+    "PENDING",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation API (not for modeled failures)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    triggers it, schedules its callbacks, and records a value that is sent
+    into every waiting process.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_default")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._scheduled = False
+        self._default: Any = None  # value assumed when fired straight off the heap
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._value is PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event; ``value`` is sent to every waiting process."""
+        if self._value is not PENDING:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._post(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters receive the exception."""
+        if self._value is not PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self.sim._post(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._default = value
+        sim._post(self, delay=delay)
+
+
+AllOf, AnyOf = build_conditions(Event)
+
+
+class Process(Event):
+    """Wraps a generator; the process event fires when the generator returns.
+
+    The generator yields :class:`Event` objects.  The yielded event's value is
+    sent back into the generator when it fires; failed events are thrown in as
+    exceptions, so processes can use ordinary ``try/except``.
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on", "_kick", "_kick_cbs")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"Process requires a generator, got {gen!r}")
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        self._kick: Optional[Event] = None
+        self._kick_cbs: Optional[list] = None
+        sim._n_spawned += 1
+        # Bootstrap: resume the generator at the current instant via a
+        # call slot — one heap entry (the same count the legacy engine's
+        # born-triggered start event cost) and zero boxed events.
+        sim._seq = seq = sim._seq + 1
+        heapq.heappush(sim._heap, (sim.now, seq, self._start))
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self._value is not PENDING:
+            return
+        waited = self._waiting_on
+        if waited is not None and waited._value is PENDING:
+            # Detach from the event we were waiting on.
+            try:
+                waited.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):
+                pass
+        self._waiting_on = None
+        kick = Event(self.sim)
+        kick.callbacks.append(self._resume)
+        kick.fail(Interrupt(cause))
+
+    def _start(self) -> None:
+        """Call-slot bootstrap: first resume, at the spawn instant."""
+        if self._value is not PENDING:  # interrupted before the bootstrap ran
+            return
+        self._step(None, True)
+
+    def _resume(self, ev: Event) -> None:
+        if self._value is not PENDING:  # finished (e.g. interrupted mid-wait)
+            return
+        self._waiting_on = None
+        self._step(ev._value, ev._ok)
+
+    def _step(self, value: Any, ok: bool) -> None:
+        gen = self.gen
+        while True:
+            try:
+                if ok:
+                    target = gen.send(value)
+                else:
+                    target = gen.throw(value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                self.fail(exc)
+                return
+            if isinstance(target, Event):
+                break
+            # Misuse: throw into the generator *and keep driving it* — it
+            # may catch the error and yield a proper Event (loop again),
+            # return (StopIteration above), or let it propagate (the
+            # process fails with the SimulationError).
+            ok = False
+            value = SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        if target.callbacks is None:
+            # Already fired and processed: resume immediately (next tick)
+            # via a recycled per-process kick event instead of allocating
+            # a fresh one for every such resume.
+            kick = self._kick
+            if kick is None or kick.callbacks is not None:
+                # First use, or the previous kick is still in the heap
+                # (an interrupt resumed us early): allocate.
+                kick = Event(self.sim)
+                self._kick = kick
+                self._kick_cbs = kick.callbacks = [self._resume]
+            else:
+                kick._scheduled = False
+                kick.callbacks = self._kick_cbs
+            kick._value = target._value
+            kick._ok = target._ok
+            self.sim._post(kick)
+            self._waiting_on = kick
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class Simulator:
+    """The event loop over the slot-based store.
+
+    The heap holds ``(time, tiebreak, item)`` triples; ``item`` is a
+    boxed :class:`Event` or a bare callable (a *call slot*, see
+    :meth:`after_call`).  Dispatch drains one instant per batch.
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._running = False
+        self._n_spawned: int = 0
+        # Fast-path observability (see stats()): inline completions the
+        # fast tier performed without a heap dispatch, and the times a
+        # fast-path site had to defer through the heap (or hand a flow
+        # back to the legacy generator path) to preserve same-instant
+        # ordering.  Both are plain integer bumps on paths that already
+        # branch, so the dispatch loop never sees them.
+        self._n_fast: int = 0
+        self._n_fallback: int = 0
+        # Optional observer (a repro.sim.Tracer) for process-lifecycle
+        # records; None keeps spawn() free of any tracing work and the
+        # dispatch loop is never touched either way.
+        self.obs = None
+
+    # -- event factory helpers -------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        # Fast path: build the Timeout and schedule it inline (this is the
+        # single most-called boxed allocation in the simulator).
+        # Equivalent to Timeout(self, delay, value) without the two
+        # __init__ frames and the _post call.
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        ev = Event.__new__(Timeout)
+        ev.sim = self
+        ev.callbacks = []
+        ev._value = PENDING
+        ev._ok = True
+        ev._scheduled = True
+        ev._default = value
+        ev.delay = delay
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (self.now + delay, seq, ev))
+        return ev
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new simulation process from a generator."""
+        proc = Process(self, gen, name=name)
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            pid = self._n_spawned
+            obs.emit(self.now, "proc.spawn", pid=pid, name=proc.name)
+            # The finish record rides on the process's own completion
+            # event, so the resume hot path carries no tracing branch.
+            proc.callbacks.append(
+                lambda ev, p=proc, i=pid: obs.emit(
+                    self.now, "proc.finish", pid=i, name=p.name, ok=p._ok))
+        return proc
+
+    # -- scheduling -------------------------------------------------------
+    def _post(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError("event already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def after_call(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule bare ``fn()`` as a *call slot*, ``delay`` seconds out.
+
+        The unboxed counterpart of :meth:`after` for engine-internal
+        one-shot steps: one compact heap entry, no event object, no
+        callback list.  Nothing can wait on a call slot — use
+        :meth:`after` when the completion must be observable.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative after_call delay: {delay}")
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (self.now + delay, seq, fn))
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` at absolute virtual time ``when`` (>= now)."""
+        if when < self.now:
+            raise SimulationError(f"call_at past time {when} < now {self.now}")
+        ev = self.timeout(when - self.now)
+        ev.callbacks.append(lambda _ev: fn())
+        return ev
+
+    def after(self, delay: float, fn: Callable[[Event], None],
+              value: Any = None) -> Timeout:
+        """Schedule ``fn(event)`` to run ``delay`` virtual seconds from now.
+
+        The callback-chain counterpart of ``yield sim.timeout(delay)``: one
+        heap entry, no generator.  Returns the timeout so further callbacks
+        can be chained onto the same instant.
+        """
+        ev = self.timeout(delay, value)
+        ev.callbacks.append(fn)
+        return ev
+
+    # -- introspection ----------------------------------------------------
+    def idle_at_now(self) -> bool:
+        """True when nothing further is scheduled at the current instant.
+
+        The quiet-instant guard every analytic fast path checks before
+        completing work inline: when the next heap entry (if any) lies
+        strictly in the future, an elided dispatch cannot interleave
+        with anything.  Both tiers implement this as a peek at the top
+        of the event store.
+        """
+        heap = self._heap
+        return not heap or heap[0][0] > self.now
+
+    def stats(self) -> dict:
+        """Dispatch and fast-path counters.
+
+        ``events_processed`` is derived — every scheduled entry (boxed
+        event or call slot) bumps ``_seq`` and sits in the heap until
+        popped, so the difference is exactly the number of dispatches.
+        This keeps the counter live mid-run without any cost in the
+        dispatch loop.
+
+        The event-minimization counters make the two-tier model
+        observable per run:
+
+        * ``spawns`` — processes started (same value as the legacy
+          ``processes_spawned`` key, kept for compatibility).  A
+          fast-tier run spawns far fewer than a legacy run of the same
+          workload.
+        * ``fast_completions`` — completions the fast tier performed
+          inline at a quiet instant (every :func:`fire` call plus the
+          sequencers' synchronous ``try_acquire`` stamps), i.e. heap
+          dispatches that never happened.
+        * ``fallbacks`` — times a fast-path site found the current
+          instant busy (or the state contended) and deferred through
+          the heap at legacy dispatch depths — or handed the flow back
+          to the legacy generator path — so same-instant races
+          linearize identically in both tiers.
+        """
+        return {
+            "events_processed": self._seq - len(self._heap),
+            "processes_spawned": self._n_spawned,
+            "spawns": self._n_spawned,
+            "fast_completions": self._n_fast,
+            "fallbacks": self._n_fallback,
+        }
+
+    # -- main loop --------------------------------------------------------
+    def step(self) -> None:
+        """Process the next scheduled event (advances the clock)."""
+        when, _seq, item = heapq.heappop(self._heap)
+        self.now = when
+        if not isinstance(item, Event):
+            item()  # call slot
+            return
+        if item._value is PENDING:  # scheduled directly (Timeout): fire now
+            item._value = item._default
+        callbacks = item.callbacks
+        item.callbacks = None
+        if callbacks is None:
+            return
+        for cb in callbacks:
+            cb(item)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap is empty or virtual time passes ``until``.
+
+        Returns the final virtual time.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        # The dispatch loop is inlined (no per-event step() frame) with
+        # hot globals bound to locals, and drains one *instant* per
+        # outer iteration: the until-horizon check and the clock store
+        # happen once per instant, then the inner loop pops every entry
+        # scheduled for it.  An event triggered by succeed/fail already
+        # carries its value, so only heap-fired events (Timeouts) take
+        # the PENDING branch, and ``_ok`` needs no write (fail() always
+        # sets the value, so a PENDING pop is always ok).
+        heappop = heapq.heappop
+        heap = self._heap
+        _event = Event
+        _pending = PENDING
+        try:
+            while heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                self.now = when
+                while heap and heap[0][0] == when:
+                    _when, _seq, item = heappop(heap)
+                    if not isinstance(item, _event):
+                        item()  # call slot
+                        continue
+                    if item._value is _pending:
+                        item._value = item._default
+                    callbacks = item.callbacks
+                    item.callbacks = None
+                    if callbacks is not None:
+                        for cb in callbacks:
+                            cb(item)
+        finally:
+            self._running = False
+        return self.now
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Spawn ``gen``, run to completion, and return its value.
+
+        Raises the process's exception if it failed, and
+        :class:`SimulationError` if the simulation deadlocks before the
+        process finishes (usually a process waiting on a message that is
+        never sent).
+        """
+        proc = self.spawn(gen, name=name)
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        heappop = heapq.heappop
+        heap = self._heap
+        _event = Event
+        _pending = PENDING
+        try:
+            # Stop as soon as the process completes so orphaned timers
+            # (e.g. abandoned timeouts) do not advance the clock further.
+            while heap and proc._value is _pending:
+                when = heap[0][0]
+                self.now = when
+                while heap and heap[0][0] == when and proc._value is _pending:
+                    _when, _seq, item = heappop(heap)
+                    if not isinstance(item, _event):
+                        item()
+                        continue
+                    if item._value is _pending:
+                        item._value = item._default
+                    callbacks = item.callbacks
+                    item.callbacks = None
+                    if callbacks is not None:
+                        for cb in callbacks:
+                            cb(item)
+        finally:
+            self._running = False
+        if proc._value is PENDING:
+            raise SimulationError(
+                f"deadlock: process {proc.name!r} never finished "
+                f"(simulation ran dry at t={self.now})"
+            )
+        if not proc._ok:
+            raise proc._value
+        return proc._value
+
+
+def fire(ev: Event, value: Any = None) -> None:
+    """Trigger ``ev`` and run its callbacks inline, bypassing the heap.
+
+    Equivalent to ``ev.succeed(value)`` followed immediately by the heap
+    pop that would dispatch it — sound only when nothing else is
+    scheduled at the current instant, so the skipped dispatch could not
+    have interleaved with anything.  The fabric's fast paths use it to
+    complete occupancies at quiet instants (checking the heap first); at
+    busy instants they post through the heap like everything else.
+    """
+    if ev._value is not PENDING:
+        raise SimulationError("event already triggered")
+    ev._value = value
+    ev._ok = True
+    ev._scheduled = True
+    ev.sim._n_fast += 1
+    callbacks = ev.callbacks
+    ev.callbacks = None
+    if callbacks is not None:
+        for cb in callbacks:
+            cb(ev)
+
+
+def chain(ev: Event, fn: Callable[[Event], None]) -> Event:
+    """Run ``fn(ev)`` when ``ev`` fires (immediately if already processed).
+
+    The building block of callback-chained state machines: where a
+    generator would ``yield ev`` and resume, a chain appends the next
+    step as a callback — no process object, no generator frame.  An
+    event that has already fired *and* been dispatched off the heap has
+    ``callbacks is None``; its value is final, so the continuation runs
+    inline.
+    """
+    cbs = ev.callbacks
+    if cbs is None:
+        fn(ev)
+    else:
+        cbs.append(fn)
+    return ev

@@ -1,0 +1,65 @@
+"""Unit tests for the perf-baseline harness (no real measuring here:
+the measure functions are stubbed, so these stay milliseconds-fast)."""
+
+import json
+
+from repro.harness import bench
+
+
+def test_flat_engine_handles_both_layouts():
+    # Pre-tier flat layout (old committed baselines) passes through...
+    flat = {"timeout_chain": 100, "TOTAL": 100}
+    assert bench._flat_engine(flat) == flat
+    # ...and the sectioned per-tier layout flattens to tier/name keys.
+    sectioned = {"python": {"timeout_chain": 100, "TOTAL": 100},
+                 "compiled": {"timeout_chain": 400, "TOTAL": 400}}
+    assert bench._flat_engine(sectioned) == {
+        "python/timeout_chain": 100, "python/TOTAL": 100,
+        "compiled/timeout_chain": 400, "compiled/TOTAL": 400}
+
+
+def _fake_engine_suite(tmp_path, committed, measured, monkeypatch):
+    path = tmp_path / "BENCH_engine.json"
+    path.write_text(json.dumps({"bench": "engine", "results": committed}))
+    monkeypatch.setitem(bench.SUITES, "engine",
+                        (path, lambda repeat: measured, bench._flat_engine))
+    return path
+
+
+def test_check_skips_tier_unavailable_on_this_machine(tmp_path, capsys,
+                                                      monkeypatch):
+    """A baseline with a compiled section still checks cleanly where the
+    compiled core cannot build — skipped with a log line, not failed."""
+    committed = {"python": {"a": 100, "TOTAL": 100},
+                 "compiled": {"a": 400, "TOTAL": 400}}
+    measured = {"python": {"a": 100, "TOTAL": 100}}  # no compiler here
+    _fake_engine_suite(tmp_path, committed, measured, monkeypatch)
+    rc = bench.check_baselines(repeat=1, threshold=0.30, suites=["engine"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "compiled tier unavailable" in out
+    assert "skipping its baselines" in out
+    assert "compiled/a" not in out  # skipped rows don't show as MISSING
+
+
+def test_check_still_fails_on_regression_in_available_tier(tmp_path, capsys,
+                                                           monkeypatch):
+    committed = {"python": {"a": 100, "TOTAL": 100}}
+    measured = {"python": {"a": 10, "TOTAL": 10}}  # 90% drop
+    _fake_engine_suite(tmp_path, committed, measured, monkeypatch)
+    rc = bench.check_baselines(repeat=1, threshold=0.30, suites=["engine"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "REGRESSION" in out
+
+
+def test_committed_engine_baseline_is_sectioned_per_tier():
+    """The committed BENCH_engine.json carries at least the python tier
+    in the per-tier layout (the compiled section depends on the writer
+    machine having a C compiler)."""
+    data = json.loads(bench.ENGINE_JSON.read_text())
+    results = data["results"]
+    assert "python" in results
+    assert all(isinstance(v, dict) for v in results.values())
+    for section in results.values():
+        assert "TOTAL" in section

@@ -1,0 +1,262 @@
+"""Cross-tier event-core tests: properties and record-for-record parity.
+
+The simulator core ships in three implementations that must agree
+observable-for-observable:
+
+* ``repro.sim._legacy`` — the frozen pre-rewrite engine, kept as a
+  test-only oracle;
+* ``repro.sim._pyengine`` — the portable rewritten core (the reference
+  tier);
+* ``repro.sim._cengine`` — the optional compiled core (skipped here
+  when no C compiler is available).
+
+Three kinds of coverage:
+
+* hypothesis properties every tier must satisfy on its own
+  (same-instant FIFO tie-break; recycled kick events never resurrect
+  an already-processed resume);
+* a hypothesis-generated workload interpreter run on all tiers, whose
+  value log, final clock and ``stats()`` counters must be identical —
+  the counter-parity contract that keeps ``events_processed``
+  comparable across tiers;
+* subprocess runs of a full application under ``REPRO_ENGINE=python``
+  vs ``REPRO_ENGINE=compiled`` whose trace streams must match record
+  for record (tiers cannot be mixed in one process, so tier selection
+  itself is always exercised via subprocesses).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import _legacy, _pyengine
+from repro.sim._build import compiler_available
+
+TIERS = [("legacy", _legacy), ("python", _pyengine)]
+if compiler_available():
+    from repro.sim import _cengine
+
+    TIERS.append(("compiled", _cengine))
+
+_tier = pytest.mark.parametrize(
+    "engine", [m for _, m in TIERS], ids=[n for n, _ in TIERS])
+
+needs_cc = pytest.mark.skipif(
+    not compiler_available(),
+    reason="no C compiler: compiled tier unavailable")
+
+
+# ------------------------------------------------- per-tier properties
+
+
+@_tier
+@settings(deadline=None, max_examples=60)
+@given(delays=st.lists(st.sampled_from([0.0, 1.0, 1.0, 2.0, 3.5]),
+                       min_size=1, max_size=30))
+def test_same_instant_callbacks_fire_in_schedule_order(engine, delays):
+    """Equal-time events dispatch FIFO in scheduling order (the heap
+    tiebreak counter), for any mix of colliding instants."""
+    sim = engine.Simulator()
+    fired = []
+    for i, d in enumerate(delays):
+        ev = sim.timeout(d)
+        ev.callbacks.append(lambda _ev, i=i: fired.append(i))
+    sim.run()
+    # A stable sort by delay *is* FIFO-within-instant.
+    assert fired == sorted(range(len(delays)), key=lambda i: delays[i])
+
+
+@_tier
+@settings(deadline=None, max_examples=60)
+@given(plan=st.lists(st.booleans(), min_size=1, max_size=30))
+def test_recycled_kicks_never_resurrect(engine, plan):
+    """Yielding already-processed events reuses the kick event; the
+    recycled slot must deliver each resume exactly once, in order,
+    never replaying a processed entry (True = pre-triggered yield
+    target, False = fresh timeout; consecutive Trues re-reuse)."""
+    sim = engine.Simulator()
+    got = []
+
+    def proc():
+        for i, pre in enumerate(plan):
+            if pre:
+                ev = engine.Event(sim)
+                ev.succeed(("pre", i))
+                got.append((yield ev))
+            else:
+                got.append((yield sim.timeout(1.0, value=("to", i))))
+
+    sim.run_process(proc())
+    assert got == [("pre", i) if pre else ("to", i)
+                   for i, pre in enumerate(plan)]
+
+
+# ------------------------------------- cross-tier workload equivalence
+
+# One op = (kind, delay).  The interpreter below uses only API surface
+# all three tiers share, and logs (tag, value, now) triples.
+_OPS = st.lists(
+    st.tuples(st.sampled_from(["timeout", "pre", "child", "fail",
+                               "all", "any"]),
+              st.sampled_from([0.0, 0.5, 1.0, 2.5])),
+    min_size=1, max_size=12)
+
+
+def _run_program(engine, ops):
+    sim = engine.Simulator()
+    log = []
+
+    def child(d, i):
+        v = yield sim.timeout(d, value=i)
+        return ("child", i, v)
+
+    def failing(i):
+        yield sim.timeout(0.0)
+        raise ValueError(f"boom {i}")
+
+    def main():
+        for i, (op, d) in enumerate(ops):
+            if op == "timeout":
+                log.append(("t", (yield sim.timeout(d, value=i)), sim.now))
+            elif op == "pre":
+                ev = sim.event()
+                ev.succeed(i)
+                log.append(("p", (yield ev), sim.now))
+            elif op == "child":
+                log.append(("c", (yield sim.spawn(child(d, i))), sim.now))
+            elif op == "fail":
+                try:
+                    yield sim.spawn(failing(i))
+                except ValueError as exc:
+                    log.append(("f", str(exc), sim.now))
+            elif op == "all":
+                evs = [sim.timeout(d + j, value=(i, j)) for j in range(3)]
+                log.append(("A", (yield sim.all_of(evs)), sim.now))
+            elif op == "any":
+                evs = [sim.timeout(d + j, value=(i, j)) for j in range(3)]
+                _ev, val = yield sim.any_of(evs)
+                log.append(("y", val, sim.now))
+
+    sim.run_process(main())
+    sim.run()  # drain stragglers (unfired any_of components)
+    return log, sim.stats(), sim.now
+
+
+@settings(deadline=None, max_examples=40)
+@given(ops=_OPS)
+def test_tiers_agree_on_log_clock_and_stats(ops):
+    """Every tier produces the identical value log, final clock, and
+    stats() dict — including ``events_processed``, whose definition
+    (one tiebreak per heap entry) is part of the cross-tier contract."""
+    ref_log, ref_stats, ref_now = _run_program(_legacy, ops)
+    for name, engine in TIERS[1:]:
+        log, stats, now = _run_program(engine, ops)
+        assert log == ref_log, name
+        assert now == ref_now, name
+        assert stats == ref_stats, name
+
+
+@_tier
+def test_stats_dict_shape(engine):
+    def noop():
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    sim = engine.Simulator()
+    sim.run_process(noop(), name="noop")
+    assert set(sim.stats()) == {"events_processed", "processes_spawned",
+                                "spawns", "fast_completions", "fallbacks"}
+
+
+def test_tiers_share_sentinels_and_exceptions():
+    """PENDING / exception types are identical objects across tiers, so
+    isinstance and identity checks agree no matter which tier made an
+    object (the facade re-exports them from the pure module)."""
+    from repro.sim import engine
+
+    names = ["Event", "Timeout", "AllOf", "AnyOf", "Process", "Simulator",
+             "Interrupt", "SimulationError", "chain", "fire", "PENDING"]
+    for _, mod in TIERS:
+        for n in names:
+            assert hasattr(mod, n), n
+    assert engine.PENDING is _pyengine.PENDING
+    assert engine.SimulationError is _pyengine.SimulationError
+    assert engine.Interrupt is _pyengine.Interrupt
+    if compiler_available():
+        assert _cengine.PENDING is _pyengine.PENDING
+        assert _cengine.SimulationError is _pyengine.SimulationError
+        assert _cengine.Interrupt is _pyengine.Interrupt
+
+
+# ---------------------------------------------- tier selection (subproc)
+
+
+def _subprocess(code, tier):
+    """Run a snippet under a forced REPRO_ENGINE tier; return the result."""
+    env = dict(os.environ)
+    env["REPRO_ENGINE"] = tier
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True)
+
+
+def test_engine_env_selects_tier():
+    code = "from repro.sim.engine import ENGINE_TIER; print(ENGINE_TIER)"
+    out = _subprocess(code, "python")
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() == "python"
+    out = _subprocess(code, "auto")
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() in ("python", "compiled")
+    if compiler_available():
+        out = _subprocess(code, "compiled")
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "compiled"
+
+
+def test_engine_env_rejects_unknown_value():
+    out = _subprocess("import repro.sim.engine", "bogus")
+    assert out.returncode != 0
+    assert "REPRO_ENGINE" in out.stderr
+
+
+# --------------------------------- full-stack trace parity (subproc)
+
+# Runs one traced grid point and prints every record plus the result's
+# metrics, normalized to JSON.  Identical stdout across tiers means the
+# tiers are indistinguishable record-for-record at the application level.
+_TRACE_SCRIPT = """
+import json
+from repro.apps import small_params
+from repro.harness.sweeps import RunSpec
+from repro.sim.trace import TraceSpec
+
+spec = RunSpec("water", "optimized", 2, 3, small_params("water"),
+               trace=TraceSpec())
+res = spec.execute()
+records = [[r.time, r.kind, sorted(r.detail.items())]
+           for r in res.trace_records]
+print(json.dumps({"records": records, "elapsed": res.elapsed,
+                  "traffic": res.traffic, "sim_stats": res.sim_stats},
+                 sort_keys=True, default=repr))
+"""
+
+
+@needs_cc
+def test_trace_streams_identical_across_tiers():
+    py = _subprocess(_TRACE_SCRIPT, "python")
+    cc = _subprocess(_TRACE_SCRIPT, "compiled")
+    assert py.returncode == 0, py.stderr
+    assert cc.returncode == 0, cc.stderr
+    a, b = json.loads(py.stdout), json.loads(cc.stdout)
+    assert a["elapsed"] == b["elapsed"]
+    assert a["sim_stats"] == b["sim_stats"]
+    assert a["traffic"] == b["traffic"]
+    assert len(a["records"]) == len(b["records"])
+    assert a["records"] == b["records"]

@@ -105,6 +105,35 @@ def test_duplicate_specs_computed_once():
     _same_results(results[:1], results[2:])
 
 
+def test_batched_pool_matches_serial_bit_identical():
+    """Batching many points per dispatch changes IPC, never results."""
+    specs = _grid_specs()
+    serial = ParallelRunner(jobs=1).run(specs)
+    batched = ParallelRunner(jobs=2, batch=3).run(specs)  # uneven last batch
+    _same_results(serial, batched)
+    for spec, res in zip(specs, batched):
+        assert (res.app, res.variant, res.n_clusters) == \
+            (spec.app, spec.variant, spec.n_clusters)
+
+
+def test_batch_size_heuristic_and_override():
+    r = ParallelRunner(jobs=4)
+    assert r._batch_size(8, 4) == 1       # small grids stay unbatched
+    assert r._batch_size(16, 4) == 1      # = 4 dispatches/worker exactly
+    assert r._batch_size(320, 4) == 20    # big grids amortize IPC
+    assert ParallelRunner(jobs=4, batch=7)._batch_size(9999, 4) == 7
+    assert ParallelRunner(jobs=4, batch=0)._batch_size(8, 4) == 1  # clamps
+
+
+def test_batched_sweep_points_still_per_point():
+    specs = _grid_specs()
+    runner = ParallelRunner(jobs=2, batch=4)
+    runner.run(specs)
+    assert len(runner.point_records) == len(specs)
+    assert all(r.kind == "sweep.point" and r.detail["host_s"] > 0
+               for r in runner.point_records)
+
+
 def test_results_come_back_in_spec_order():
     specs = _grid_specs()
     results = ParallelRunner(jobs=2).run(specs)
@@ -352,6 +381,15 @@ def test_cli_jobs_and_cache_flags(tmp_path, monkeypatch, capsys):
     assert main(["cache", "clear"]) == 0
     cleared = capsys.readouterr().out
     assert "removed" in cleared
+
+
+def test_cli_batch_flag(tmp_path, monkeypatch, capsys):
+    from repro.__main__ import main
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "clicache"))
+    assert main(["figure", "fig7", "--cpus", "4", "--jobs", "2",
+                 "--batch", "2", "--no-cache"]) == 0
+    assert "fig7" in capsys.readouterr().out
 
 
 def test_cli_no_cache_flag(tmp_path, monkeypatch, capsys):
