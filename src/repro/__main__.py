@@ -18,6 +18,10 @@ Examples::
     python -m repro cache clear               # drop the result cache
     python -m repro bench --check             # regress vs BENCH_*.json
     python -m repro bench --write --suite orca  # refresh one baseline
+    python -m repro scenario ra --wan-jitter lognormal:0.3 \
+        --fault gw_outage@2.0s+0.5s           # impaired vs clean run
+    python -m repro scenario ra asp --wan-loss 0.02 --seeds 3 --jobs 4
+    python -m repro scenario water --cluster 1:cpu=0.5,link=fast-ethernet
 
 Experiment commands accept ``--jobs N`` (or the ``REPRO_JOBS`` env var)
 to fan the independent simulations of a figure or table out over a
@@ -324,6 +328,91 @@ def cmd_bench(args) -> int:
     return bench.check_baselines(args.repeat, args.threshold, suites)
 
 
+def _scenario_parts(args):
+    """(impairments, faults, tweaks) from the ``repro scenario`` flags."""
+    from .scenario import Impairment, parse_cluster_tweak, parse_fault
+
+    impairments = []
+    if args.wan_jitter:
+        dist, sep, sigma = args.wan_jitter.partition(":")
+        if not sep or dist != "lognormal":
+            raise _CLIError(f"bad --wan-jitter {args.wan_jitter!r} "
+                            "(want lognormal:SIGMA, e.g. lognormal:0.3)")
+        impairments.append(Impairment.of("jitter", sigma=float(sigma)))
+    if args.wan_loss:
+        p, _sep, rto = args.wan_loss.partition(":")
+        kw = {"p": float(p)}
+        if rto:
+            kw["rto"] = float(rto)
+        impairments.append(Impairment.of("loss", **kw))
+    if args.wan_dip:
+        bits = args.wan_dip.split(":")
+        if len(bits) > 3:
+            raise _CLIError(f"bad --wan-dip {args.wan_dip!r} "
+                            "(want DEPTH[:PERIOD[:DUTY]])")
+        keys = ("depth", "period", "duty")
+        impairments.append(Impairment.of(
+            "bw_dip", **{k: float(v) for k, v in zip(keys, bits)}))
+    if args.cross_traffic is not None:
+        impairments.append(Impairment.of("cross_traffic",
+                                         load=args.cross_traffic))
+    try:
+        faults = tuple(parse_fault(text) for text in (args.fault or []))
+        tweaks = tuple(parse_cluster_tweak(text)
+                       for text in (args.cluster or []))
+    except ValueError as exc:
+        raise _CLIError(str(exc)) from None
+    return tuple(impairments), faults, tweaks
+
+
+def cmd_scenario(args) -> int:
+    """Run apps clean and under a scenario; print the elapsed comparison."""
+    from .scenario import Scenario
+
+    try:
+        impairments, faults, tweaks = _scenario_parts(args)
+    except ValueError as exc:
+        raise _CLIError(str(exc)) from None
+    seeds = [args.seed + i for i in range(max(1, args.seeds))]
+    scenarios = [Scenario(seed=s, impairments=impairments, faults=faults,
+                          clusters=tweaks) for s in seeds]
+    print(f"scenario: {scenarios[0].describe()}"
+          + (f" (+{len(seeds) - 1} more seeds)" if len(seeds) > 1 else ""),
+          file=sys.stderr)
+
+    runner = _runner(args)
+    specs = []
+    for app in args.apps:
+        params = bench_params(app)
+        specs.append(RunSpec(app, args.variant, args.clusters, args.nodes,
+                             params))
+        specs.extend(RunSpec(app, args.variant, args.clusters, args.nodes,
+                             params, scenario=scn) for scn in scenarios)
+    results = runner.run(specs)
+
+    width = 1 + len(scenarios)
+    header = (f"{'app':<8} {'clean':>10}  "
+              + "  ".join(f"{'seed ' + str(s):>10}" for s in seeds)
+              + f"  {'slowdown':>8}")
+    print(header)
+    print("-" * len(header))
+    for i, app in enumerate(args.apps):
+        group = results[i * width:(i + 1) * width]
+        clean, impaired = group[0], group[1:]
+        mean = sum(r.elapsed for r in impaired) / len(impaired)
+        slow = mean / clean.elapsed if clean.elapsed > 0 else float("inf")
+        print(f"{app:<8} {clean.elapsed:>9.4f}s  "
+              + "  ".join(f"{r.elapsed:>9.4f}s" for r in impaired)
+              + f"  {slow:>7.2f}x")
+    if runner.hits:
+        print(f"({runner.hits} cached, {runner.computed} simulated)",
+              file=sys.stderr)
+    if runner.jobs > 1 and runner.point_records:
+        from .harness import format_stragglers
+        print(format_stragglers(runner.point_records), file=sys.stderr)
+    return 0
+
+
 def cmd_cache(args) -> int:
     """Inspect or clear the on-disk sweep result cache."""
     cache = ResultCache()
@@ -462,6 +551,44 @@ def main(argv=None) -> int:
                                              "orca"], default="all",
                          help="restrict to one baseline suite")
 
+    p_scn = sub.add_parser(
+        "scenario", help="run apps clean and under WAN impairments, "
+                         "faults and heterogeneity tweaks "
+                         "(docs/SCENARIOS.md)")
+    p_scn.add_argument("apps", nargs="+", choices=PAPER_ORDER,
+                       metavar="APP",
+                       help=f"applications to run ({', '.join(PAPER_ORDER)})")
+    p_scn.add_argument("--variant", default="original")
+    p_scn.add_argument("--clusters", type=int, default=4)
+    p_scn.add_argument("--nodes", type=int, default=8)
+    p_scn.add_argument("--wan-jitter", default=None, metavar="lognormal:S",
+                       help="latency jitter: median-preserving lognormal "
+                            "with shape S, e.g. lognormal:0.3")
+    p_scn.add_argument("--wan-loss", default=None, metavar="P[:RTO]",
+                       help="packet loss probability P per transfer, "
+                            "retransmit timeout RTO seconds (0.05)")
+    p_scn.add_argument("--wan-dip", default=None,
+                       metavar="DEPTH[:PERIOD[:DUTY]]",
+                       help="periodic bandwidth dip: fraction DEPTH lost "
+                            "for DUTY of each PERIOD seconds")
+    p_scn.add_argument("--cross-traffic", type=float, default=None,
+                       metavar="LOAD",
+                       help="background traffic as a fraction of each "
+                            "transfer's bytes (exponential, mean LOAD)")
+    p_scn.add_argument("--fault", action="append", metavar="SPEC",
+                       help="timed fault, e.g. gw_outage@2.0s+0.5s, "
+                            "link_flap@1s+0.2s:c0-c1, "
+                            "slow_node@0.5s+1s:n3,factor=0.1 (repeatable)")
+    p_scn.add_argument("--cluster", action="append", metavar="SPEC",
+                       help="heterogeneity tweak, e.g. "
+                            "1:cpu=0.5,nodes=8,link=fast-ethernet "
+                            "(repeatable)")
+    p_scn.add_argument("--seed", type=int, default=0,
+                       help="base scenario seed (default 0)")
+    p_scn.add_argument("--seeds", type=int, default=1, metavar="K",
+                       help="run K consecutive seeds starting at --seed")
+    _add_sweep_flags(p_scn)
+
     p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
     p_cache.add_argument("action", choices=["info", "clear"], nargs="?",
                          default="info")
@@ -470,7 +597,7 @@ def main(argv=None) -> int:
     commands = {"list": cmd_list, "table": cmd_table, "figure": cmd_figure,
                 "app": cmd_app, "profile": cmd_profile, "trace": cmd_trace,
                 "chains": cmd_chains, "cache": cmd_cache,
-                "bench": cmd_bench}
+                "bench": cmd_bench, "scenario": cmd_scenario}
     try:
         return commands[args.command](args)
     except _CLIError as exc:

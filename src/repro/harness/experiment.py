@@ -35,7 +35,8 @@ def run_app(app: Application, variant: str, n_clusters: int,
             topology: Optional[Topology] = None,
             tracer: Optional[Tracer] = None,
             fast_paths: bool = True,
-            runtime_fast_paths: Optional[bool] = None) -> AppResult:
+            runtime_fast_paths: Optional[bool] = None,
+            scenario: Optional["Scenario"] = None) -> AppResult:
     """Run ``app``/``variant`` on ``n_clusters`` x ``nodes_per_cluster``.
 
     ``dedicated_sequencer_node`` applies the paper's further broadcast
@@ -60,6 +61,10 @@ def run_app(app: Application, variant: str, n_clusters: int,
     ``fast_paths``.  Passing ``runtime_fast_paths=False`` with
     ``fast_paths=True`` isolates the runtime layer for its golden
     suite.
+
+    ``scenario`` (a :class:`repro.scenario.Scenario`) applies WAN
+    impairments, heterogeneity tweaks and timed faults to the run; a
+    default/empty scenario is a guaranteed no-op (see docs/SCENARIOS.md).
     """
     app.check_variant(variant)
     # Run-local ids: traces (which join on message/request ids) come out
@@ -71,10 +76,15 @@ def run_app(app: Application, variant: str, n_clusters: int,
     sim = Simulator()
     topo = topology if topology is not None \
         else uniform_clusters(n_clusters, nodes_per_cluster)
+    if scenario is not None:
+        from ..scenario import install, scenario_topology
+        topo = scenario_topology(scenario, topo)
     fabric = Fabric(sim, topo, network, tracer=tracer, fast_paths=fast_paths)
     if trace:
         fabric.tracer.enabled = True
         sim.obs = fabric.tracer  # process-lifecycle records
+    if scenario is not None:
+        install(sim, fabric, scenario)
     seq_kind = sequencer if sequencer is not None else app.sequencer_for(variant)
     rts = OrcaRuntime(sim, fabric, sequencer=seq_kind,
                       dedicated_sequencer_node=dedicated_sequencer_node,

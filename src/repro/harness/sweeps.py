@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..apps import ALL_APPS, make_app
 from ..apps.base import AppResult
 from ..network import DAS_PARAMS, NetworkParams
+from ..scenario import Scenario
 from ..sim.trace import TraceRecord, TraceSpec
 
 __all__ = [
@@ -56,7 +57,9 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: *meant* to alter results, so stale entries cannot shadow new numbers
 #: (pure host-time optimizations do not need a bump — virtual-time
 #: results are bit-identical by design).
-CACHE_SCHEMA = "1"
+#: "2": RunSpec grew the ``scenario`` field (WAN impairments, faults,
+#: heterogeneity — see docs/SCENARIOS.md).
+CACHE_SCHEMA = "2"
 
 
 def default_jobs() -> int:
@@ -108,6 +111,12 @@ class RunSpec:
     #: records come back on ``AppResult.trace_records``.  Tracing never
     #: changes the simulation — results stay bit-identical.
     trace: Optional[TraceSpec] = None
+    #: Optional :class:`~repro.scenario.Scenario` (WAN impairments,
+    #: faults, heterogeneity — see docs/SCENARIOS.md).  Frozen and
+    #: picklable like everything else here; its ``repr`` spells out
+    #: every model parameter and the seed, so it participates in the
+    #: cache key and scenario runs cache like clean ones.
+    scenario: Optional[Scenario] = None
 
     def __post_init__(self):
         if self.app not in ALL_APPS:
@@ -127,7 +136,8 @@ class RunSpec:
         """
         text = repr((CACHE_SCHEMA, self.app, self.variant, self.n_clusters,
                      self.nodes_per_cluster, self.params, self.network,
-                     self.sequencer, self.dedicated_sequencer_node))
+                     self.sequencer, self.dedicated_sequencer_node,
+                     self.scenario))
         return hashlib.sha256(text.encode()).hexdigest()
 
     def execute(self) -> AppResult:
@@ -139,7 +149,8 @@ class RunSpec:
                          self.nodes_per_cluster, self.params,
                          network=self.network, sequencer=self.sequencer,
                          dedicated_sequencer_node=self.dedicated_sequencer_node,
-                         trace=tracer is not None, tracer=tracer)
+                         trace=tracer is not None, tracer=tracer,
+                         scenario=self.scenario)
         if tracer is not None:
             result.trace_records = list(tracer.records)
         return result

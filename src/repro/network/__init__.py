@@ -6,6 +6,7 @@ from .params import (
     ATM_DAS,
     DAS_PARAMS,
     FAST_ETHERNET,
+    LINK_CLASSES,
     GatewayParams,
     INTERNET_PARAMS,
     INTERNET_SUNDAY,
@@ -33,6 +34,7 @@ __all__ = [
     "ATM_DAS",
     "DAS_PARAMS",
     "FAST_ETHERNET",
+    "LINK_CLASSES",
     "GatewayParams",
     "INTERNET_PARAMS",
     "INTERNET_SUNDAY",

@@ -43,7 +43,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 from ..metrics.counters import TrafficMeter
 from ..sim import CPU, Channel, Event, Resource, Simulator, Tracer, fire
 from .message import Message
-from .params import NetworkParams
+from .params import LINK_CLASSES, NetworkParams
 from .topology import Topology
 
 __all__ = ["Node", "Gateway", "Fabric"]
@@ -98,9 +98,37 @@ class Fabric:
         #: original per-leg process trees — the executable reference
         #: implementation the golden equivalence suite compares against.
         self.fast_paths = fast_paths
+        #: Optional :class:`repro.scenario.apply.WanImpairments`.  When
+        #: installed, every WAN path routes through the legacy generator
+        #: leg (even on the fast tier) so the impairment RNG draws in
+        #: deterministic event order — determinism is then *per seed*,
+        #: not cross-tier (see docs/SCENARIOS.md).
+        self.impair = None
 
         self.nodes: List[Node] = [
             Node(sim, nid, topo.cluster_of(nid)) for nid in range(topo.n_nodes)
+        ]
+        #: Per-node compute speed multipliers, or ``None`` when every
+        #: node runs at 1.0 (the clean model — keeping ``None`` makes
+        #: the scaling arithmetic a guaranteed no-op).  Seeded from the
+        #: topology's per-cluster ``cpu_speed``; the ``slow_node`` fault
+        #: rescales entries inside its window.  Consumed by
+        #: :meth:`repro.orca.runtime.Context.compute`.
+        speeds = [topo.clusters[node.cluster].cpu_speed for node in self.nodes]
+        self.node_speed: Optional[List[float]] = (
+            speeds if any(s != 1.0 for s in speeds) else None)
+        #: Per-cluster LAN parameters: a cluster spec naming a ``link``
+        #: class uses it, everyone else shares ``params.lan`` (the very
+        #: same object, so homogeneous runs are bit-identical to the
+        #: pre-heterogeneity fabric).  Both tiers read this table.
+        for spec in topo.clusters:
+            if spec.link is not None and spec.link not in LINK_CLASSES:
+                raise ValueError(
+                    f"cluster {spec.name!r} names unknown link class "
+                    f"{spec.link!r}; choose from {sorted(LINK_CLASSES)}")
+        self._cluster_lan = [
+            params.lan if spec.link is None else LINK_CLASSES[spec.link]
+            for spec in topo.clusters
         ]
         self.gateways: List[Gateway] = [
             Gateway(sim, ci) for ci in range(topo.n_clusters)
@@ -140,7 +168,8 @@ class Fabric:
             scope = "self" if src == dst else ("lan" if local else "wan")
             tr.emit(self.sim.now, "msg.send", msg_id=msg.msg_id, src=src,
                     dst=dst, size=size, msg_kind=kind, port=port, scope=scope)
-        link = self.params.lan if local else self.params.access
+        link = self._cluster_lan[self.nodes[src].cluster] if local \
+            else self.params.access
         cost = link.o_send + size * link.per_byte_cpu
         # Sender-side CPU overhead, paid synchronously by the caller.
         if self.fast_paths:
@@ -149,6 +178,10 @@ class Fabric:
                 return self._fast_self(msg)
             if local:
                 return self._fast_lan(msg)
+            if self.impair is not None:
+                # Impaired WAN: the legacy leg draws and pays the
+                # perturbations in deterministic event order.
+                return self.sim.spawn(self._deliver_wan(msg), name="wanmsg")
             return self._fast_wan(msg)
         yield self.sim.spawn(self.nodes[src].cpu.execute(cost))
         if src == dst:
@@ -174,7 +207,7 @@ class Fabric:
         Caller pays sender overhead; returns an event firing when *all*
         receivers have the message.
         """
-        lan = self.params.lan
+        lan = self._cluster_lan[self.nodes[src].cluster]
         cost = lan.o_send + self.params.bcast_extra + size * lan.per_byte_cpu
         if self.fast_paths:
             yield self.nodes[src].cpu.execute_ev(cost)
@@ -198,6 +231,11 @@ class Fabric:
         cost = access.o_send + size * access.per_byte_cpu
         if self.fast_paths:
             yield self.nodes[src].cpu.execute_ev(cost)
+            if self.impair is not None:
+                return self.sim.spawn(
+                    self._deliver_wan_multicast(src, dst_cluster, size,
+                                                payload, port, kind),
+                    name="wanmcast")
             return self._fast_wan_multicast(src, dst_cluster, size, payload,
                                             port, kind)
         yield self.sim.spawn(self.nodes[src].cpu.execute(cost))
@@ -225,6 +263,11 @@ class Fabric:
         cost = access.o_send + size * access.per_byte_cpu
         if self.fast_paths:
             yield self.nodes[src].cpu.execute_ev(cost)
+            if self.impair is not None:
+                return self.sim.spawn(
+                    self._deliver_wan_fanout(src, src_cluster, remote, size,
+                                             payload, port, kind),
+                    name="wanfanout")
             return self._fast_wan_fanout(src, src_cluster, remote, size,
                                          payload, port, kind)
         yield self.sim.spawn(self.nodes[src].cpu.execute(cost))
@@ -260,7 +303,8 @@ class Fabric:
             scope = "self" if src == dst else ("lan" if local else "wan")
             tr.emit(self.sim.now, "msg.send", msg_id=msg.msg_id, src=src,
                     dst=dst, size=size, msg_kind=kind, port=port, scope=scope)
-        link = self.params.lan if local else self.params.access
+        link = self._cluster_lan[self.nodes[src].cluster] if local \
+            else self.params.access
         cost = link.o_send + size * link.per_byte_cpu
 
         def _launch(_ev: Event) -> None:
@@ -268,6 +312,8 @@ class Fabric:
                 done = self._fast_self(msg)
             elif local:
                 done = self._fast_lan(msg)
+            elif self.impair is not None:
+                done = self.sim.spawn(self._deliver_wan(msg), name="wanmsg")
             else:
                 done = self._fast_wan(msg)
             if then is not None:
@@ -283,9 +329,9 @@ class Fabric:
         """:meth:`multicast_local` as a callback chain (see
         :meth:`send_chain`); ``then(done)`` receives the all-delivered
         event."""
-        lan = self.params.lan
-        cost = lan.o_send + self.params.bcast_extra + size * lan.per_byte_cpu
         cluster = self.topo.cluster_of(src)
+        lan = self._cluster_lan[cluster]
+        cost = lan.o_send + self.params.bcast_extra + size * lan.per_byte_cpu
 
         def _launch(_ev: Event) -> None:
             done = self._fast_multicast(src, cluster, size, payload, port,
@@ -314,8 +360,14 @@ class Fabric:
         cost = access.o_send + size * access.per_byte_cpu
 
         def _launch(_ev: Event) -> None:
-            done = self._fast_wan_fanout(src, src_cluster, remote, size,
-                                         payload, port, kind)
+            if self.impair is not None:
+                done = self.sim.spawn(
+                    self._deliver_wan_fanout(src, src_cluster, remote, size,
+                                             payload, port, kind),
+                    name="wanfanout")
+            else:
+                done = self._fast_wan_fanout(src, src_cluster, remote, size,
+                                             payload, port, kind)
             if then is not None:
                 then(done)
 
@@ -408,7 +460,7 @@ class Fabric:
     def _fast_lan(self, msg: Message) -> Event:
         # Cut-through: injection and delivery ports overlap (see
         # _deliver_lan); the two legs join on a countdown.
-        lan = self.params.lan
+        lan = self._cluster_lan[self.nodes[msg.src].cluster]
         tx = msg.size / lan.bandwidth
         sim = self.sim
         done = Event(sim)
@@ -591,7 +643,7 @@ class Fabric:
 
     def _fast_multicast_recv(self, msg: Message, tx: float,
                              then: Callable[[Event], None]) -> None:
-        lan = self.params.lan
+        lan = self._cluster_lan[self.nodes[msg.dst].cluster]
 
         def after_lat(_ev: Event) -> None:
             occ = self._occupy_ev(self._lan_in[msg.dst], tx, "lan_in",
@@ -613,7 +665,7 @@ class Fabric:
 
     def _fast_multicast(self, src: int, cluster: int, size: int, payload: Any,
                         port: str, kind: str, include_self: bool) -> Event:
-        lan = self.params.lan
+        lan = self._cluster_lan[cluster]
         tx = size / lan.bandwidth
         sim = self.sim
         done = Event(sim)
@@ -640,7 +692,7 @@ class Fabric:
                                   payload: Any, port: str, kind: str,
                                   then: Callable[[int], None]) -> None:
         """Re-inject a WAN arrival as a local multicast in ``dst_cluster``."""
-        lan = self.params.lan
+        lan = self._cluster_lan[dst_cluster]
         gw = self.gateways[dst_cluster]
         cpu = gw.cpu.execute_ev(lan.o_send + self.params.bcast_extra)
 
@@ -743,7 +795,7 @@ class Fabric:
         # occupied for one serialization time, but they overlap (the switch
         # forwards as bytes arrive), so an uncontended transfer takes
         # latency + size/bw, while endpoint contention still serializes.
-        lan = self.params.lan
+        lan = self._cluster_lan[self.nodes[msg.src].cluster]
         tx = msg.size / lan.bandwidth
         out_leg = self.sim.spawn(self._occupy(self._lan_out[msg.src], tx,
                                               "lan_out", msg.size,
@@ -754,7 +806,7 @@ class Fabric:
         return msg
 
     def _lan_in_leg(self, msg: Message, tx: float) -> Generator:
-        lan = self.params.lan
+        lan = self._cluster_lan[self.nodes[msg.dst].cluster]
         yield self.sim.timeout(lan.latency)
         yield self.sim.spawn(self._occupy(self._lan_in[msg.dst], tx,
                                           "lan_in", msg.size, msg.msg_id))
@@ -783,12 +835,26 @@ class Fabric:
                     qdepth=qd, msg_id=msg_id, t0=t0, dur=now - t0)
         # The PVC serializes transmissions; latency is pipeline delay.
         tx = msg_size / wan.bandwidth
+        latency = wan.latency
+        imp = self.impair
+        if imp is not None:
+            plan = imp.plan(src_cluster, dst_cluster, msg_size, tx, latency,
+                            msg_id)
+            tx, latency = plan.tx, plan.latency
+            # Each lost transmission pays a full (impaired) serialization
+            # on the PVC plus the retransmit timeout before the copy
+            # that gets through.
+            for _ in range(plan.retries):
+                yield self.sim.spawn(self._occupy(
+                    self._wan[(src_cluster, dst_cluster)], tx, "wan",
+                    msg_size, msg_id))
+                yield self.sim.timeout(plan.rto)
         t0 = self.sim.now
         yield self.sim.spawn(self._occupy(
             self._wan[(src_cluster, dst_cluster)], tx, "wan", msg_size,
             msg_id))
         self.meter.record_wan(msg_size)
-        yield self.sim.timeout(wan.latency)
+        yield self.sim.timeout(latency)
         if traced:
             now = self.sim.now
             tr.emit(now, "wan.xfer", src_cluster=src_cluster,
@@ -859,7 +925,7 @@ class Fabric:
     def _deliver_multicast(self, src: int, cluster: int, size: int,
                            payload: Any, port: str, kind: str,
                            include_self: bool) -> Generator:
-        lan = self.params.lan
+        lan = self._cluster_lan[cluster]
         tx = size / lan.bandwidth
         # Injection overlaps delivery (spanning-tree forwarding in the NIC).
         legs = [self.sim.spawn(self._occupy(self._lan_out[src], tx,
@@ -874,7 +940,7 @@ class Fabric:
         return len(legs) - 1
 
     def _multicast_recv(self, msg: Message, tx: float) -> Generator:
-        lan = self.params.lan
+        lan = self._cluster_lan[self.nodes[msg.dst].cluster]
         yield self.sim.timeout(lan.latency)
         yield self.sim.spawn(self._occupy(self._lan_in[msg.dst], tx,
                                           "lan_in", msg.size, msg.msg_id))
@@ -907,7 +973,7 @@ class Fabric:
                                   payload: Any, port: str,
                                   kind: str) -> Generator:
         """Re-inject a WAN arrival as a local multicast in ``dst_cluster``."""
-        lan = self.params.lan
+        lan = self._cluster_lan[dst_cluster]
         gw = self.gateways[dst_cluster]
         yield self.sim.spawn(gw.cpu.execute(lan.o_send + self.params.bcast_extra))
         tx = size / lan.bandwidth

@@ -24,6 +24,7 @@ __all__ = [
     "DAS_PARAMS",
     "INTERNET_PARAMS",
     "SLOW_WAN_PARAMS",
+    "LINK_CLASSES",
     "mbit",
     "usec",
 ]
@@ -150,3 +151,9 @@ DAS_PARAMS = NetworkParams(
 
 INTERNET_PARAMS = DAS_PARAMS.with_wan(INTERNET_SUNDAY)
 SLOW_WAN_PARAMS = DAS_PARAMS.with_wan(SLOW_WAN)
+
+#: Named link classes a heterogeneous cluster can select as its LAN
+#: (see :class:`repro.network.topology.ClusterSpec` and
+#: docs/SCENARIOS.md).  Keyed by each preset's ``name`` field.
+LINK_CLASSES = {link.name: link for link in (
+    MYRINET, FAST_ETHERNET, ATM_DAS, INTERNET_SUNDAY, SLOW_WAN)}

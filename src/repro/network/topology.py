@@ -10,7 +10,7 @@ configuration all the paper's multi-cluster numbers use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "ClusterSpec",
@@ -23,14 +23,26 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """One site: ``n_nodes`` compute nodes and a dedicated gateway."""
+    """One site: ``n_nodes`` compute nodes and a dedicated gateway.
+
+    The heterogeneity fields default to the paper's uniform model:
+    ``cpu_speed`` scales this cluster's application compute (2.0 =
+    twice as fast; protocol overheads are NIC/firmware costs and stay
+    fixed), and ``link`` names a LAN link class from
+    :data:`repro.network.params.LINK_CLASSES` (``None`` = the network
+    parameter set's default LAN).  See docs/SCENARIOS.md.
+    """
 
     name: str
     n_nodes: int
+    cpu_speed: float = 1.0
+    link: Optional[str] = None
 
     def __post_init__(self):
         if self.n_nodes < 1:
             raise ValueError(f"cluster {self.name!r} needs >= 1 node")
+        if self.cpu_speed <= 0:
+            raise ValueError(f"cluster {self.name!r} needs cpu_speed > 0")
 
 
 @dataclass

@@ -15,9 +15,12 @@ source of truth.
 
 from .analyzers import (
     BREAKDOWN_NARRATIVE,
+    FaultWindow,
     LinkTimeline,
+    fault_windows,
     gateway_littles_law,
     gateway_queue_series,
+    impairment_summary,
     intercluster_breakdown,
     link_timelines,
     wan_wait_by_node,
@@ -60,6 +63,9 @@ from .schema import (
 
 __all__ = [
     "BREAKDOWN_NARRATIVE",
+    "FaultWindow",
+    "fault_windows",
+    "impairment_summary",
     "LinkTimeline",
     "gateway_littles_law",
     "gateway_queue_series",

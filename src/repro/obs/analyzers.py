@@ -35,6 +35,9 @@ __all__ = [
     "wan_wait_by_node",
     "intercluster_breakdown",
     "BREAKDOWN_NARRATIVE",
+    "FaultWindow",
+    "fault_windows",
+    "impairment_summary",
 ]
 
 
@@ -236,6 +239,70 @@ def wan_wait_by_node(records: Iterable[TraceRecord]
         elif rec.kind in ("seq.request", "seq.grant") and d["inter"]:
             bucket(d["sender"])["seq"] += d["dur"]
     return waits
+
+
+# ------------------------------------------------------ scenario records
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One injected fault's actual window (see ``scn.fault``).
+
+    ``t0`` is the onset *as executed* — a gateway outage begins when the
+    gateway CPU goes quiet, which may be later than the scenario's
+    requested onset — and ``t1`` the recovery instant.
+    """
+
+    model: str
+    target: str
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def covers(self, t: float) -> bool:
+        """True when virtual instant ``t`` falls inside the window."""
+        return self.t0 <= t < self.t1
+
+
+def fault_windows(records: Iterable[TraceRecord]) -> List[FaultWindow]:
+    """Every fault window in the trace, sorted by onset.
+
+    The windows are the anchor for "interpreting impaired traces" (see
+    docs/SCENARIOS.md): stalls whose spans overlap a window are
+    fault-induced, the rest are the model's ordinary congestion.
+    """
+    out = [FaultWindow(model=rec.detail["model"],
+                       target=rec.detail["target"],
+                       t0=rec.detail["t0"],
+                       t1=rec.detail["t0"] + rec.detail["dur"])
+           for rec in records if rec.kind == "scn.fault"]
+    out.sort(key=lambda w: (w.t0, w.model, w.target))
+    return out
+
+
+def impairment_summary(records: Iterable[TraceRecord]
+                       ) -> Dict[str, Dict[str, float]]:
+    """Per-model totals of what the impairments cost (``scn.impair``).
+
+    Returns ``{model: {events, extra_s, retries}}``: how many transfers
+    the model touched, the virtual seconds it added in total, and (loss
+    only) how many retransmissions it forced.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for rec in records:
+        if rec.kind != "scn.impair":
+            continue
+        d = rec.detail
+        acc = out.get(d["model"])
+        if acc is None:
+            acc = out[d["model"]] = {"events": 0.0, "extra_s": 0.0,
+                                     "retries": 0.0}
+        acc["events"] += 1.0
+        acc["extra_s"] += d["extra"]
+        acc["retries"] += d["retries"]
+    return out
 
 
 # ------------------------------------------------ intercluster breakdown

@@ -171,6 +171,12 @@ def _lane_for(rec: TraceRecord) -> Tuple[str, str, str]:
         return "sequencer", "token", f"migrate c{d['frm']}->c{d['to']}"
     if kind in ("proc.spawn", "proc.finish"):
         return "sim processes", "spawns", f"{kind} {d['name']}"
+    if kind == "scn.fault":
+        # Span: each fault window renders as one "X" slice on its
+        # target's lane, so outages line up under the traffic they stall.
+        return "scenario", d["target"], f"fault {d['model']}"
+    if kind == "scn.impair":
+        return "scenario", d["link"], f"impair {d['model']}"
     return "other", kind, kind
 
 

@@ -43,7 +43,11 @@ __all__ = [
 #: ``msg_id`` field attributing the occupancy to the point-to-point
 #: message it served (-1 for shared legs, e.g. multicast fan-out),
 #: enabling the causal message chains of :mod:`repro.obs.chains`.
-SCHEMA_VERSION = 2
+#: v3: scenario runs (see docs/SCENARIOS.md) change the *meaning* of
+#: ``wan.xfer.tx`` — it reports the impaired serialization time, which
+#: may exceed size/bandwidth — and add the ``scn.fault`` / ``scn.impair``
+#: kinds.  Clean runs are unchanged.
+SCHEMA_VERSION = 3
 
 #: Field type tags used by the specs below.
 _CHECKS = {
@@ -199,6 +203,19 @@ KINDS: Dict[str, KindSpec] = {spec.name: spec for spec in [
           node=("int", "applying node id"),
           seq=("int", "global sequence number"),
           sender=("int", "issuing node id")),
+    # ------------------------------------- scenario engine (scenario)
+    _spec("scn.fault", "repro.scenario.apply", True,
+          "one injected fault window, onset to recovery",
+          model=("str", "fault model: gw_outage / link_flap / slow_node"),
+          target=("str", "what the fault hit, e.g. c1 / c0-c1 / n3")),
+    _spec("scn.impair", "repro.network.fabric", False,
+          "one WAN transfer perturbed by an impairment model",
+          model=("str", "impairment model: jitter / loss / bw_dip / "
+                        "cross_traffic"),
+          link=("str", "directed PVC, e.g. c0->c1"),
+          msg_id=("int", "message the transfer served; -1 on shared legs"),
+          extra=("float", "virtual seconds this model added"),
+          retries=("int", "lost transmissions (loss model); 0 otherwise")),
     # ------------------------------------- sweep harness (host-side)
     # The one host-side kind: ``time`` is host seconds since the batch
     # started, not virtual time (a sweep spans many simulations).

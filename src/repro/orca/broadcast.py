@@ -179,13 +179,20 @@ class TotalOrderBroadcast:
         seq = None
         if self.fast_paths:
             # Analytic stamp when ordering is local and the instant is
-            # quiet; contended instants hand back to the acquire
-            # generator so same-instant races linearize identically.
+            # quiet; an uncontended remote token takes the deferred
+            # shortcut (an analytic hop-delay event); contended instants
+            # hand back to the acquire generator so same-instant races
+            # linearize identically.
             seq = self.protocol.try_acquire(stamp_cluster)
-            if seq is None:
-                self.sim._n_fallback += 1
-            else:
+            if seq is not None:
                 self.sim._n_fast += 1
+            else:
+                ev = self.protocol.try_acquire_deferred(stamp_cluster)
+                if ev is not None:
+                    self.sim._n_fast += 1
+                    seq = yield ev
+                else:
+                    self.sim._n_fallback += 1
         if seq is None:
             seq = yield from self.protocol.acquire(stamp_cluster)
         self._advance_issue_turn(sender)

@@ -472,17 +472,28 @@ class Context:
         if seconds < 0:
             raise ValueError(f"negative compute time: {seconds}")
         q = quantum if quantum is not None else self.COMPUTE_QUANTUM
-        cpu = self.rts.fabric.nodes[self.node].cpu
+        fabric = self.rts.fabric
+        cpu = fabric.nodes[self.node].cpu
+        # Heterogeneity/faults: per-quantum speed lookup, so a slow_node
+        # window changes only the quanta inside it.  ``node_speed`` is
+        # None on the clean model; the 1.0 guard keeps the arithmetic
+        # bit-identical to the unscaled path.
+        speeds = fabric.node_speed
+        node = self.node
         remaining = seconds
         if self.rts.fast_paths:
             while remaining > 0:
                 step = remaining if remaining <= q else q
-                yield cpu.execute_ev(step, priority=1)
+                sp = 1.0 if speeds is None else speeds[node]
+                cost = step if sp == 1.0 else step / sp
+                yield cpu.execute_ev(cost, priority=1)
                 remaining -= step
         else:
             while remaining > 0:
                 step = remaining if remaining <= q else q
-                yield self.sim.spawn(cpu.execute(step, priority=1))
+                sp = 1.0 if speeds is None else speeds[node]
+                cost = step if sp == 1.0 else step / sp
+                yield self.sim.spawn(cpu.execute(cost, priority=1))
                 remaining -= step
 
     def sleep(self, seconds: float) -> Generator:

@@ -26,7 +26,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Generator, List, Optional, Tuple
 
-from ..sim import Event, Simulator
+from ..sim import Event, Simulator, fire
 
 __all__ = [
     "SequencerProtocol",
@@ -86,10 +86,50 @@ class SequencerProtocol:
         """
         return None
 
-    # Where the stamping happens for a sender in ``cluster``: the cluster
-    # whose sequencer node disseminates the message.
-    def stamping_cluster(self, sender_cluster: int) -> int:
-        raise NotImplementedError
+    def try_acquire_deferred(self, cluster: int) -> Optional[Event]:
+        """Analytic remote-token path: an event firing with the stamp.
+
+        The token-ring extension of :meth:`try_acquire` — succeeds when
+        the ring is uncontended (token parked, no holder) but the token
+        is *k* hops away, so the acquire cannot complete at this
+        instant.  Returns an event that fires with the sequence number
+        after the analytic ``k * hop_latency`` delay, reproducing the
+        legacy grant's dispatch schedule exactly (one call-slot, one
+        event dispatch, state changes in the same order); the ring
+        invariant — waiters only accumulate while the token is held —
+        makes the uncontended check sufficient.  ``None`` means the
+        caller must drive :meth:`acquire`.
+        """
+        return None
+
+    def _deferred_grant(self, ring: "_TokenRing", cluster: int,
+                        dist: int) -> Event:
+        """Shared remote-token shortcut for the token protocols."""
+        sim = self.sim
+        t0 = sim.now
+        # Replicate _grant's state changes: the token is committed to
+        # the requester immediately, arrival is dist hops out.
+        ring.held = True
+        ring.at = cluster
+        ring._turn_done = False
+        done = Event(sim)
+
+        def _resume(_ev: Event) -> None:
+            seq = self._stamp()
+            ring.release()
+            self._trace_acquire(cluster, seq, t0)
+            fire(done, seq)
+
+        def _slot() -> None:
+            # The legacy grant's ev.succeed: one posted event dispatch
+            # between the call-slot and the resume, so same-instant
+            # arrivals linearize at identical depths in both tiers.
+            gate = Event(sim)
+            gate.callbacks.append(_resume)
+            gate.succeed(None)
+
+        sim.call_at(t0 + dist * self.hop_latency, _slot)
+        return done
 
 
 class CentralizedSequencer(SequencerProtocol):
@@ -233,6 +273,15 @@ class DistributedSequencer(SequencerProtocol):
         self._trace_acquire(cluster, seq, t0)
         return seq
 
+    def try_acquire_deferred(self, cluster: int) -> Optional[Event]:
+        ring = self._ring
+        if ring.held:
+            return None  # contended: waiter ordering is the ring's job
+        dist = ring._distance(ring.at, cluster)
+        if dist == 0:
+            return None  # local token: try_acquire's (cheaper) territory
+        return self._deferred_grant(ring, cluster, dist)
+
     @property
     def token_at(self) -> int:
         return self._ring.at
@@ -284,6 +333,18 @@ class MigratingSequencer(SequencerProtocol):
         ring.release()
         self._trace_acquire(cluster, seq, t0)
         return seq
+
+    def try_acquire_deferred(self, cluster: int) -> Optional[Event]:
+        ring = self._ring
+        if ring.held or ring.at == cluster:
+            return None  # held: ring's job; local: try_acquire's
+        # The migration bookkeeping the legacy acquire does at request
+        # time, before the token travels.
+        self.migrations += 1
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.emit(self.sim.now, "seq.migrate", frm=ring.at, to=cluster)
+        return self._deferred_grant(ring, cluster, 1)
 
     @property
     def located_at(self) -> int:

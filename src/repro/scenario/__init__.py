@@ -1,0 +1,43 @@
+"""Pluggable scenario layer: WAN impairments, heterogeneity, faults.
+
+The clean paper model (uniform clusters, fixed LAN/WAN constants,
+nothing ever fails) is one point in a much larger space.  This package
+makes the rest of that space declarative: a frozen
+:class:`~repro.scenario.spec.Scenario` composes registered WAN
+impairment models, per-cluster heterogeneity tweaks, and timed fault
+events with any app x topology x variant, rides inside
+:class:`~repro.harness.sweeps.RunSpec` (so the sweep cache and parallel
+runner work unchanged), and is applied by
+:func:`~repro.harness.experiment.run_app` when building the stack.
+
+``docs/SCENARIOS.md`` is the complete reference manual; the model
+registries in :mod:`repro.scenario.models` are its machine-readable
+source of truth, kept in lockstep by ``tools/check_docs.py``.
+"""
+
+from .apply import WanImpairments, install, scenario_topology
+from .models import FAULTS, IMPAIRMENTS, ModelSpec, model_spec
+from .spec import (
+    ClusterTweak,
+    Fault,
+    Impairment,
+    Scenario,
+    parse_cluster_tweak,
+    parse_fault,
+)
+
+__all__ = [
+    "WanImpairments",
+    "install",
+    "scenario_topology",
+    "FAULTS",
+    "IMPAIRMENTS",
+    "ModelSpec",
+    "model_spec",
+    "ClusterTweak",
+    "Fault",
+    "Impairment",
+    "Scenario",
+    "parse_cluster_tweak",
+    "parse_fault",
+]

@@ -1,0 +1,393 @@
+"""Tests for the scenario engine: spec values, parsing, determinism,
+the no-op guarantee, faults, heterogeneity, and analyzer support.
+
+The heavyweight guarantees (docs/SCENARIOS.md):
+
+- a default ``Scenario()`` is trace-record-identical to a plain run on
+  both engine tiers;
+- a given scenario (seed included) is bit-identical across repeats and
+  across serial vs. pooled sweeps;
+- impairments and faults act through the resource model, so they can
+  only slow a run down, never corrupt its answer.
+"""
+
+import pytest
+
+from repro.apps import make_app, small_params
+from repro.harness import run_app
+from repro.harness.sweeps import ParallelRunner, ResultCache, RunSpec
+from repro.obs import FaultWindow, fault_windows, impairment_summary
+from repro.scenario import (
+    FAULTS,
+    IMPAIRMENTS,
+    ClusterTweak,
+    Fault,
+    Impairment,
+    Scenario,
+    parse_cluster_tweak,
+    parse_fault,
+    scenario_topology,
+)
+from repro.sim import Tracer
+
+
+def _run(app="ra", variant="original", clusters=2, nodes=2, scenario=None,
+         trace=False, tracer=None, fast_paths=True):
+    return run_app(make_app(app), variant, clusters, nodes,
+                   small_params(app), scenario=scenario, trace=trace,
+                   tracer=tracer, fast_paths=fast_paths)
+
+
+# ------------------------------------------------------------ spec values
+
+
+def test_impairment_of_fills_defaults_and_validates():
+    imp = Impairment.of("loss", p=0.02)
+    assert imp.param("p") == 0.02
+    assert imp.param("rto") == IMPAIRMENTS["loss"].defaults()["rto"]
+    assert imp == Impairment.of("loss", p=0.02)  # defaults filled -> equal
+    with pytest.raises(ValueError, match="unknown scenario model"):
+        Impairment.of("gremlins")
+    with pytest.raises(ValueError, match="no parameter"):
+        Impairment.of("jitter", sigmaa=0.3)
+    with pytest.raises(ValueError, match="fault model, not"):
+        Impairment.of("gw_outage")
+
+
+def test_fault_of_validates_times_and_model():
+    flt = Fault.of("slow_node", at=1.0, duration=0.5, target="n3",
+                   factor=0.1)
+    assert flt.param("factor") == 0.1
+    with pytest.raises(ValueError, match="impairment model, not"):
+        Fault.of("jitter", at=0.0, duration=1.0)
+    with pytest.raises(ValueError, match="onset"):
+        Fault.of("gw_outage", at=-1.0, duration=1.0)
+    with pytest.raises(ValueError, match="duration"):
+        Fault.of("gw_outage", at=0.0, duration=0.0)
+
+
+def test_scenario_rejects_duplicate_impairment_models():
+    with pytest.raises(ValueError, match="duplicate"):
+        Scenario(impairments=(Impairment.of("jitter", sigma=0.1),
+                              Impairment.of("jitter", sigma=0.2)))
+
+
+def test_scenario_is_noop_and_describe():
+    assert Scenario().is_noop()
+    assert Scenario(seed=7).is_noop()  # seed alone changes nothing
+    assert Scenario(clusters=(ClusterTweak(0),)).is_noop()
+    assert not Scenario(impairments=(Impairment.of("jitter"),)).is_noop()
+    assert not Scenario(clusters=(ClusterTweak(0, cpu_speed=2.0),)).is_noop()
+    text = Scenario(
+        impairments=(Impairment.of("jitter", sigma=0.3),),
+        faults=(Fault.of("gw_outage", at=2.0, duration=0.5, target="c1"),),
+        clusters=(ClusterTweak(1, cpu_speed=0.5),)).describe()
+    assert "jitter" in text and "gw_outage@2s+0.5s:c1" in text
+    assert "c1[cpu=0.5]" in text
+    assert Scenario().describe().endswith("no-op")
+
+
+def test_scenario_is_hashable_and_picklable():
+    import pickle
+    scn = Scenario(seed=3, impairments=(Impairment.of("loss", p=0.05),),
+                   faults=(Fault.of("link_flap", at=1.0, duration=0.2),))
+    assert hash(scn) == hash(pickle.loads(pickle.dumps(scn)))
+    assert pickle.loads(pickle.dumps(scn)) == scn
+
+
+def test_registries_cover_expected_models():
+    assert set(IMPAIRMENTS) == {"jitter", "loss", "bw_dip", "cross_traffic"}
+    assert set(FAULTS) == {"gw_outage", "link_flap", "slow_node"}
+
+
+# ---------------------------------------------------------------- parsing
+
+
+def test_parse_fault_full_and_minimal():
+    flt = parse_fault("slow_node@0.5s+1s:n3,factor=0.1")
+    assert (flt.model, flt.at, flt.duration, flt.target) == \
+        ("slow_node", 0.5, 1.0, "n3")
+    assert flt.param("factor") == 0.1
+    assert parse_fault("gw_outage@2.0s+0.5s").target == ""
+
+
+@pytest.mark.parametrize("bad", [
+    "gw_outage",                # no @
+    "gremlin@1s+1s",            # unknown model
+    "gw_outage@1s",             # no +DUR
+    "gw_outage@xs+1s",          # bad number
+    "slow_node@1s+1s:n0,factor",   # param without =
+    "slow_node@1s+1s:n0,factor=x", # bad param value
+])
+def test_parse_fault_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_fault(bad)
+
+
+def test_parse_cluster_tweak():
+    tw = parse_cluster_tweak("1:cpu=0.5,nodes=8,link=fast-ethernet")
+    assert (tw.cluster, tw.cpu_speed, tw.n_nodes, tw.link) == \
+        (1, 0.5, 8, "fast-ethernet")
+    with pytest.raises(ValueError):
+        parse_cluster_tweak("x:cpu=2")
+    with pytest.raises(ValueError):
+        parse_cluster_tweak("1:")
+    with pytest.raises(ValueError):
+        parse_cluster_tweak("1:speed=2")
+    with pytest.raises(ValueError, match="unknown link class"):
+        ClusterTweak(0, link="token-ring")
+
+
+def test_scenario_topology_applies_tweaks():
+    from repro.network import uniform_clusters
+    base = uniform_clusters(2, 4)
+    scn = Scenario(clusters=(ClusterTweak(1, cpu_speed=2.0, n_nodes=2),))
+    topo = scenario_topology(scn, base)
+    assert [c.n_nodes for c in topo.clusters] == [4, 2]
+    assert topo.clusters[1].cpu_speed == 2.0
+    with pytest.raises(ValueError):
+        scenario_topology(Scenario(clusters=(ClusterTweak(5),)), base)
+    # No tweaks: the very same topology object comes back.
+    assert scenario_topology(Scenario(), base) is base
+
+
+# ------------------------------------------------- no-op trace identity
+
+
+def _records(fast_paths, scenario):
+    tracer = Tracer()
+    res = _run("tsp", clusters=2, nodes=2, scenario=scenario, trace=True,
+               tracer=tracer, fast_paths=fast_paths)
+    return res, list(tracer.records)
+
+
+@pytest.mark.parametrize("fast_paths", [True, False])
+def test_noop_scenario_is_trace_identical_to_plain_run(fast_paths):
+    plain, plain_recs = _records(fast_paths, None)
+    noop, noop_recs = _records(fast_paths, Scenario(seed=42))
+    assert noop.elapsed == plain.elapsed
+    assert noop.answer == plain.answer
+    assert noop.traffic == plain.traffic
+    assert noop_recs == plain_recs
+
+
+# ------------------------------------------------------ seed determinism
+
+
+def _impaired_scenario(seed=0):
+    return Scenario(
+        seed=seed,
+        impairments=(Impairment.of("jitter", sigma=0.3),
+                     Impairment.of("loss", p=0.05, rto=0.01),
+                     Impairment.of("cross_traffic", load=0.5)),
+        faults=(Fault.of("gw_outage", at=0.05, duration=0.05),))
+
+
+def test_impaired_run_is_deterministic_per_seed():
+    a = _run(scenario=_impaired_scenario())
+    b = _run(scenario=_impaired_scenario())
+    assert a.elapsed == b.elapsed
+    assert a.answer == b.answer
+    assert a.traffic == b.traffic
+    c = _run(scenario=_impaired_scenario(seed=1))
+    assert c.elapsed != a.elapsed  # a different seed really re-draws
+    assert c.answer == a.answer   # ... but never changes the answer
+
+
+def test_impaired_sweep_serial_matches_pool():
+    specs = [RunSpec("ra", "original", 2, 2, small_params("ra"),
+                     scenario=_impaired_scenario(seed=s))
+             for s in range(3)]
+    serial = ParallelRunner(jobs=1, cache=None).run(specs)
+    pooled = ParallelRunner(jobs=2, cache=None).run(specs)
+    for a, b in zip(serial, pooled):
+        assert (a.elapsed, a.answer, a.traffic) == \
+            (b.elapsed, b.answer, b.traffic)
+
+
+def test_impairments_slow_the_run_down_not_the_answer():
+    clean = _run()
+    impaired = _run(scenario=_impaired_scenario())
+    assert impaired.elapsed > clean.elapsed
+    assert impaired.answer == clean.answer
+
+
+# ----------------------------------------------------------------- faults
+
+
+def test_gw_outage_delays_elapsed_and_traces_its_window():
+    clean = _run("tsp", clusters=2, nodes=2)
+    # The small TSP run lasts ~13 ms of virtual time; park the outage
+    # window over most of it.
+    scn = Scenario(faults=(
+        Fault.of("gw_outage", at=0.001, duration=0.05, target="c0"),))
+    tracer = Tracer(kinds={"scn.fault"})
+    res = _run("tsp", clusters=2, nodes=2, scenario=scn, trace=True,
+               tracer=tracer)
+    assert res.elapsed > clean.elapsed
+    assert res.answer == clean.answer
+    windows = fault_windows(tracer.records)
+    assert len(windows) == 1
+    win = windows[0]
+    assert isinstance(win, FaultWindow)
+    assert (win.model, win.target) == ("gw_outage", "c0")
+    # In-service forwards drain first, so the window starts at or after
+    # the requested onset and lasts exactly the requested duration.
+    assert win.t0 >= 0.001
+    assert win.duration == pytest.approx(0.05)
+    assert win.covers(win.t0 + 0.01) and not win.covers(win.t1 + 1.0)
+
+
+def test_link_flap_and_slow_node_run_and_trace():
+    scn = Scenario(faults=(
+        Fault.of("link_flap", at=0.05, duration=0.1, target="c0-c1"),
+        Fault.of("slow_node", at=0.0, duration=0.2, target="n1",
+                 factor=0.5)))
+    tracer = Tracer(kinds={"scn.fault"})
+    res = _run(scenario=scn, trace=True, tracer=tracer)
+    clean = _run()
+    assert res.answer == clean.answer
+    assert res.elapsed >= clean.elapsed
+    assert [(w.model, w.target) for w in fault_windows(tracer.records)] == \
+        [("slow_node", "n1"), ("link_flap", "c0-c1")]  # sorted by onset
+
+
+def test_fault_target_validation():
+    from repro.network import uniform_clusters
+    from repro.scenario import install
+    from repro.sim import Simulator
+    from repro.network import DAS_PARAMS, Fabric
+    sim = Simulator()
+    fabric = Fabric(sim, uniform_clusters(2, 2), DAS_PARAMS)
+    bad = Scenario(faults=(
+        Fault.of("gw_outage", at=0.0, duration=1.0, target="c9"),))
+    with pytest.raises(ValueError, match="c9"):
+        install(sim, fabric, bad)
+    with pytest.raises(ValueError):
+        install(sim, fabric, Scenario(faults=(
+            Fault.of("link_flap", at=0.0, duration=1.0, target="c0-c0"),)))
+    with pytest.raises(ValueError):
+        install(sim, fabric, Scenario(faults=(
+            Fault.of("slow_node", at=0.0, duration=1.0, target="n99"),)))
+
+
+# ---------------------------------------------------------- heterogeneity
+
+
+def test_cluster_cpu_speed_changes_elapsed_not_answer():
+    import numpy as np
+    base = _run("sor", clusters=2, nodes=2)
+    fast = _run("sor", clusters=2, nodes=2, scenario=Scenario(
+        clusters=(ClusterTweak(0, cpu_speed=4.0),
+                  ClusterTweak(1, cpu_speed=4.0))))
+    slow = _run("sor", clusters=2, nodes=2, scenario=Scenario(
+        clusters=(ClusterTweak(1, cpu_speed=0.25),)))
+    assert fast.elapsed < base.elapsed < slow.elapsed
+    assert np.array_equal(fast.answer["grid"], base.answer["grid"])
+    assert np.array_equal(slow.answer["grid"], base.answer["grid"])
+
+
+def test_cluster_link_class_changes_elapsed():
+    import numpy as np
+    base = _run("water", clusters=2, nodes=2)
+    slow_lan = _run("water", clusters=2, nodes=2, scenario=Scenario(
+        clusters=(ClusterTweak(0, link="internet-sunday"),)))
+    assert slow_lan.elapsed > base.elapsed
+    assert np.array_equal(np.asarray(slow_lan.answer),
+                          np.asarray(base.answer))
+
+
+def test_cluster_node_count_tweak_resizes_the_run():
+    res = _run("tsp", clusters=2, nodes=2, scenario=Scenario(
+        clusters=(ClusterTweak(1, n_nodes=4),)))
+    base = _run("tsp", clusters=2, nodes=2)
+    assert res.answer == base.answer
+    assert res.elapsed != base.elapsed
+
+
+# ---------------------------------------------------- analyzers and traces
+
+
+def test_impairment_summary_totals_scn_impair_records():
+    scn = Scenario(impairments=(Impairment.of("loss", p=0.2, rto=0.01),
+                                Impairment.of("cross_traffic", load=1.0)))
+    tracer = Tracer(kinds={"scn.impair"})
+    _run(scenario=scn, trace=True, tracer=tracer)
+    summary = impairment_summary(tracer.records)
+    assert summary["cross_traffic"]["events"] > 0
+    assert summary["cross_traffic"]["extra_s"] > 0
+    assert summary["loss"]["retries"] > 0
+    for rec in tracer.records:
+        assert rec.kind == "scn.impair"
+        assert rec.detail["model"] in IMPAIRMENTS
+        assert rec.detail["extra"] > 0
+
+
+def test_fault_windows_unit():
+    assert fault_windows([]) == []
+    win = FaultWindow("gw_outage", "c0", 1.0, 3.0)
+    assert win.duration == 2.0
+    assert win.covers(1.0) and win.covers(2.5) and not win.covers(3.5)
+
+
+def test_traced_impaired_run_matches_untraced():
+    scn = _impaired_scenario()
+    untraced = _run(scenario=scn)
+    traced = _run(scenario=scn, trace=True, tracer=Tracer())
+    assert traced.elapsed == untraced.elapsed
+    assert traced.traffic == untraced.traffic
+
+
+# ------------------------------------------------------- sweeps and cache
+
+
+def test_runspec_scenario_distinguishes_cache_keys():
+    params = small_params("ra")
+    clean = RunSpec("ra", "original", 2, 2, params)
+    scn_a = RunSpec("ra", "original", 2, 2, params,
+                    scenario=_impaired_scenario(seed=0))
+    scn_b = RunSpec("ra", "original", 2, 2, params,
+                    scenario=_impaired_scenario(seed=1))
+    keys = {clean.key(), scn_a.key(), scn_b.key()}
+    assert len(keys) == 3
+    same = RunSpec("ra", "original", 2, 2, params,
+                   scenario=_impaired_scenario(seed=0))
+    assert same.key() == scn_a.key()
+
+
+def test_scenario_sweep_warm_cache_hits(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    specs = [RunSpec("ra", "original", 2, 2, small_params("ra"),
+                     scenario=_impaired_scenario())]
+    cold = ParallelRunner(jobs=1, cache=cache)
+    first = cold.run(specs)
+    assert (cold.hits, cold.computed) == (0, 1)
+    warm = ParallelRunner(jobs=1, cache=cache)
+    second = warm.run(specs)
+    assert (warm.hits, warm.computed) == (1, 0)
+    assert first[0].elapsed == second[0].elapsed
+    assert first[0].traffic == second[0].traffic
+
+
+# ------------------------------------------------------------------- CLI
+
+
+def test_cli_scenario_runs_and_caches(tmp_path, monkeypatch, capsys):
+    from repro.__main__ import main
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    argv = ["scenario", "ra", "--clusters", "2", "--nodes", "2",
+            "--wan-jitter", "lognormal:0.3",
+            "--fault", "gw_outage@0.02s+0.05s"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "ra" in out and "clean" in out and "slowdown" in out
+    assert main(argv) == 0  # second invocation: both points cached
+    err = capsys.readouterr().err
+    assert "(2 cached, 0 simulated)" in err
+
+
+def test_cli_scenario_rejects_bad_specs(capsys):
+    from repro.__main__ import main
+    assert main(["scenario", "ra", "--wan-jitter", "uniform:0.3"]) == 2
+    assert main(["scenario", "ra", "--fault", "gw_outage"]) == 2
+    assert main(["scenario", "ra", "--cluster", "x:cpu=2"]) == 2

@@ -9,14 +9,19 @@ Two classes of check over the repo's markdown:
    registry ``repro.obs.schema.KINDS`` must agree in both directions:
    every registered kind is documented, and every kind-shaped name
    mentioned anywhere in the scanned docs is actually registered.
+3. **Scenario-model lockstep** — ``docs/SCENARIOS.md`` and the
+   scenario registry (``repro.scenario.IMPAIRMENTS`` / ``FAULTS``)
+   must agree in both directions: every registered model has a
+   ``### `model` `` reference section, and every such section names a
+   registered model.
 
 Usage::
 
     python tools/check_docs.py          # exit 0 = consistent
 
 The kind-shaped pattern is ``<prefix>.<word>`` for the prefixes the
-schema uses (proc, msg, link, gw, wan, rpc, seq, bcast), so module
-paths like ``repro.sim.engine`` never false-positive.
+schema uses (proc, msg, link, gw, wan, rpc, seq, bcast, scn, sweep),
+so module paths like ``repro.sim.engine`` never false-positive.
 """
 
 from __future__ import annotations
@@ -29,12 +34,17 @@ ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.obs.schema import KINDS  # noqa: E402
+from repro.scenario import FAULTS, IMPAIRMENTS  # noqa: E402
 
 #: Files scanned for links and kind mentions.
 DOC_FILES = ["README.md", "ROADMAP.md", "DESIGN.md", "EXPERIMENTS.md"]
 
 #: The only file that must mention *every* registered kind.
 TRACING_DOC = "docs/TRACING.md"
+
+#: The scenario reference manual, kept in lockstep with the model
+#: registry: one ``### `model` `` section per registered model.
+SCENARIOS_DOC = "docs/SCENARIOS.md"
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _KIND_PREFIXES = sorted({name.split(".", 1)[0] for name in KINDS})
@@ -90,6 +100,28 @@ def check_kinds(texts: dict) -> list:
     return problems
 
 
+_MODEL_HEADING = re.compile(r"^###\s+`([a-z_]+)`", re.M)
+
+
+def check_scenario_models(texts: dict) -> list:
+    """Both directions of the docs <-> scenario-registry lockstep."""
+    problems = []
+    text = texts.get(SCENARIOS_DOC)
+    if text is None:
+        return [f"{SCENARIOS_DOC}: missing"]
+    documented = set(_MODEL_HEADING.findall(text))
+    registered = set(IMPAIRMENTS) | set(FAULTS)
+    for name in sorted(registered - documented):
+        problems.append(
+            f"{SCENARIOS_DOC}: registered scenario model {name!r} has no "
+            f"### `{name}` reference section")
+    for name in sorted(documented - registered):
+        problems.append(
+            f"{SCENARIOS_DOC}: documents model {name!r} which is not "
+            f"registered in repro.scenario.models")
+    return problems
+
+
 def main() -> int:
     texts = {}
     problems = []
@@ -100,13 +132,14 @@ def main() -> int:
     if TRACING_DOC not in texts:
         problems.append(f"{TRACING_DOC}: missing")
     problems += check_kinds(texts)
+    problems += check_scenario_models(texts)
     if problems:
         for problem in problems:
             print(problem)
         print(f"\n{len(problems)} documentation problem(s)")
         return 1
-    print(f"docs ok: {len(texts)} files, {len(KINDS)} trace kinds "
-          f"in lockstep")
+    print(f"docs ok: {len(texts)} files, {len(KINDS)} trace kinds and "
+          f"{len(IMPAIRMENTS) + len(FAULTS)} scenario models in lockstep")
     return 0
 
 
