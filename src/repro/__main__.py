@@ -22,6 +22,9 @@ Examples::
         --fault gw_outage@2.0s+0.5s           # impaired vs clean run
     python -m repro scenario ra asp --wan-loss 0.02 --seeds 3 --jobs 4
     python -m repro scenario water --cluster 1:cpu=0.5,link=fast-ethernet
+    python -m repro tune --wan-loss 0.2 --out model.json  # calibrate
+    python -m repro tune --wan-loss 0.2 --apply --jobs 4  # before/after
+    python -m repro app asp --decision model.json         # run tuned
 
 Experiment commands accept ``--jobs N`` (or the ``REPRO_JOBS`` env var)
 to fan the independent simulations of a figure or table out over a
@@ -60,6 +63,7 @@ from .harness import (
     traffic_row,
 )
 from .sim import TraceSpec
+from .tuner import DEFAULT_CLUSTERS, DEFAULT_SIZES
 
 
 class _CLIError(Exception):
@@ -204,7 +208,8 @@ def cmd_app(args) -> int:
     runner = _runner(args)
     params = bench_params(args.app)
     res = runner.run_one(RunSpec(args.app, args.variant, args.clusters,
-                                 args.nodes, params))
+                                 args.nodes, params,
+                                 decision=_load_decision(args)))
     print(f"{args.app}/{args.variant} on {args.clusters}x{args.nodes}: "
           f"{res.elapsed:.4f} virtual seconds")
     for key, row in sorted(res.traffic.items()):
@@ -322,10 +327,32 @@ def cmd_bench(args) -> int:
     """Measure throughput and write/check the committed perf baselines."""
     from .harness import bench
 
-    suites = sorted(bench.SUITES) if args.suite == "all" else [args.suite]
+    try:
+        suites, tier = bench.parse_suite_request(args.suite)
+    except ValueError as exc:
+        raise _CLIError(str(exc)) from None
     if args.write:
+        if tier is not None:
+            raise _CLIError("--write refreshes whole suites; drop the "
+                            ":tier suffix")
         return bench.write_baselines(args.repeat, suites)
-    return bench.check_baselines(args.repeat, args.threshold, suites)
+    return bench.check_baselines(args.repeat, args.threshold, suites,
+                                 tier=tier)
+
+
+def _load_decision(args):
+    """The :class:`~repro.tuner.DecisionModel` named by ``--decision``,
+    or ``None`` (the fixed default strategy)."""
+    path = getattr(args, "decision", None)
+    if not path:
+        return None
+    from .tuner import DecisionModel
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return DecisionModel.from_json(fh.read())
+    except (OSError, ValueError, KeyError) as exc:
+        raise _CLIError(f"cannot load decision model {path!r}: {exc}")
 
 
 def _scenario_parts(args):
@@ -381,13 +408,15 @@ def cmd_scenario(args) -> int:
           file=sys.stderr)
 
     runner = _runner(args)
+    decision = _load_decision(args)
     specs = []
     for app in args.apps:
         params = bench_params(app)
         specs.append(RunSpec(app, args.variant, args.clusters, args.nodes,
-                             params))
+                             params, decision=decision))
         specs.extend(RunSpec(app, args.variant, args.clusters, args.nodes,
-                             params, scenario=scn) for scn in scenarios)
+                             params, scenario=scn, decision=decision)
+                     for scn in scenarios)
     results = runner.run(specs)
 
     width = 1 + len(scenarios)
@@ -410,6 +439,66 @@ def cmd_scenario(args) -> int:
     if runner.jobs > 1 and runner.point_records:
         from .harness import format_stragglers
         print(format_stragglers(runner.point_records), file=sys.stderr)
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """Calibrate a decision model; optionally save it and show the
+    before/after effect on the applications."""
+    from .scenario import Scenario
+    from .tuner import format_model, tune
+
+    try:
+        impairments, faults, tweaks = _scenario_parts(args)
+    except ValueError as exc:
+        raise _CLIError(str(exc)) from None
+    scenario = None
+    if impairments or faults or tweaks:
+        scenario = Scenario(seed=args.seed, impairments=impairments,
+                            faults=faults, clusters=tweaks)
+        print(f"calibrating under: {scenario.describe()}", file=sys.stderr)
+    seeds = tuple(args.seed + i for i in range(max(1, args.seeds)))
+    print(f"probing {len(args.sizes)} sizes x {len(args.clusters)} cluster "
+          f"counts x {args.reps} reps...", file=sys.stderr)
+    model = tune(sizes=tuple(args.sizes), cluster_counts=tuple(args.clusters),
+                 nodes_per_cluster=args.nodes,
+                 scenarios=(scenario,) if scenario is not None else (None,),
+                 seeds=seeds, reps=args.reps)
+    print(format_model(model))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(model.to_json())
+        print(f"wrote model to {args.out}")
+    if not args.apply:
+        return 0
+
+    # --apply: every app, fixed strategy vs the freshly tuned model, on
+    # the calibration scenario (or clean when none was given).
+    runner = _runner(args)
+    apps = args.apps or list(PAPER_ORDER)
+    n_clusters = max(args.clusters)
+    specs = []
+    for app in apps:
+        params = bench_params(app)
+        specs.append(RunSpec(app, args.variant, n_clusters, args.apply_nodes,
+                             params, scenario=scenario))
+        specs.append(RunSpec(app, args.variant, n_clusters, args.apply_nodes,
+                             params, scenario=scenario, decision=model))
+    print(f"applying to {len(apps)} apps on {n_clusters}x{args.apply_nodes} "
+          f"({runner.jobs} jobs)...", file=sys.stderr)
+    results = runner.run(specs)
+    header = f"{'app':<8} {'fixed':>10} {'tuned':>10} {'delta':>8}"
+    print(header)
+    print("-" * len(header))
+    improved = 0
+    for i, app in enumerate(apps):
+        fixed, tuned = results[2 * i], results[2 * i + 1]
+        delta = ((tuned.elapsed - fixed.elapsed) / fixed.elapsed
+                 if fixed.elapsed > 0 else 0.0)
+        improved += tuned.elapsed < fixed.elapsed
+        print(f"{app:<8} {fixed.elapsed:>9.4f}s {tuned.elapsed:>9.4f}s "
+              f"{delta:>+7.1%}")
+    print(f"({improved}/{len(apps)} apps improved)")
     return 0
 
 
@@ -460,6 +549,31 @@ def _add_bound_flags(parser: argparse.ArgumentParser) -> None:
                              "(deterministic; e.g. msg.send=8)")
 
 
+def _add_impairment_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--wan-jitter", default=None, metavar="lognormal:S",
+                        help="latency jitter: median-preserving lognormal "
+                             "with shape S, e.g. lognormal:0.3")
+    parser.add_argument("--wan-loss", default=None, metavar="P[:RTO]",
+                        help="packet loss probability P per transfer, "
+                             "retransmit timeout RTO seconds (0.05)")
+    parser.add_argument("--wan-dip", default=None,
+                        metavar="DEPTH[:PERIOD[:DUTY]]",
+                        help="periodic bandwidth dip: fraction DEPTH lost "
+                             "for DUTY of each PERIOD seconds")
+    parser.add_argument("--cross-traffic", type=float, default=None,
+                        metavar="LOAD",
+                        help="background traffic as a fraction of each "
+                             "transfer's bytes (exponential, mean LOAD)")
+    parser.add_argument("--fault", action="append", metavar="SPEC",
+                        help="timed fault, e.g. gw_outage@2.0s+0.5s, "
+                             "link_flap@1s+0.2s:c0-c1, "
+                             "slow_node@0.5s+1s:n3,factor=0.1 (repeatable)")
+    parser.add_argument("--cluster", action="append", metavar="SPEC",
+                        help="heterogeneity tweak, e.g. "
+                             "1:cpu=0.5,nodes=8,link=fast-ethernet "
+                             "(repeatable)")
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -487,6 +601,9 @@ def main(argv=None) -> int:
     p_app.add_argument("--variant", default="original")
     p_app.add_argument("--clusters", type=int, default=4)
     p_app.add_argument("--nodes", type=int, default=15)
+    p_app.add_argument("--decision", default=None, metavar="PATH",
+                       help="install a tuned DecisionModel (JSON from "
+                            "'repro tune --out'; default: fixed strategy)")
     _add_sweep_flags(p_app)
 
     p_prof = sub.add_parser(
@@ -547,9 +664,10 @@ def main(argv=None) -> int:
                          help="repetitions per workload (best is reported)")
     p_bench.add_argument("--threshold", type=float, default=0.30,
                          help="allowed fractional drop vs baseline (0.30)")
-    p_bench.add_argument("--suite", choices=["all", "engine", "fabric",
-                                             "orca"], default="all",
-                         help="restrict to one baseline suite")
+    p_bench.add_argument("--suite", default="all", metavar="SUITE[:TIER]",
+                         help="restrict to one baseline suite, optionally "
+                              "one tier of it, e.g. engine:compiled "
+                              "(default: all)")
 
     p_scn = sub.add_parser(
         "scenario", help="run apps clean and under WAN impairments, "
@@ -561,33 +679,52 @@ def main(argv=None) -> int:
     p_scn.add_argument("--variant", default="original")
     p_scn.add_argument("--clusters", type=int, default=4)
     p_scn.add_argument("--nodes", type=int, default=8)
-    p_scn.add_argument("--wan-jitter", default=None, metavar="lognormal:S",
-                       help="latency jitter: median-preserving lognormal "
-                            "with shape S, e.g. lognormal:0.3")
-    p_scn.add_argument("--wan-loss", default=None, metavar="P[:RTO]",
-                       help="packet loss probability P per transfer, "
-                            "retransmit timeout RTO seconds (0.05)")
-    p_scn.add_argument("--wan-dip", default=None,
-                       metavar="DEPTH[:PERIOD[:DUTY]]",
-                       help="periodic bandwidth dip: fraction DEPTH lost "
-                            "for DUTY of each PERIOD seconds")
-    p_scn.add_argument("--cross-traffic", type=float, default=None,
-                       metavar="LOAD",
-                       help="background traffic as a fraction of each "
-                            "transfer's bytes (exponential, mean LOAD)")
-    p_scn.add_argument("--fault", action="append", metavar="SPEC",
-                       help="timed fault, e.g. gw_outage@2.0s+0.5s, "
-                            "link_flap@1s+0.2s:c0-c1, "
-                            "slow_node@0.5s+1s:n3,factor=0.1 (repeatable)")
-    p_scn.add_argument("--cluster", action="append", metavar="SPEC",
-                       help="heterogeneity tweak, e.g. "
-                            "1:cpu=0.5,nodes=8,link=fast-ethernet "
-                            "(repeatable)")
+    _add_impairment_flags(p_scn)
+    p_scn.add_argument("--decision", default=None, metavar="PATH",
+                       help="install a tuned DecisionModel (JSON from "
+                            "'repro tune --out'; default: fixed strategy)")
     p_scn.add_argument("--seed", type=int, default=0,
                        help="base scenario seed (default 0)")
     p_scn.add_argument("--seeds", type=int, default=1, metavar="K",
                        help="run K consecutive seeds starting at --seed")
     _add_sweep_flags(p_scn)
+
+    p_tune = sub.add_parser(
+        "tune", help="calibrate collective primitives inside the simulator "
+                     "and fit a DecisionModel (docs/TUNING.md)")
+    p_tune.add_argument("--sizes", type=int, nargs="+",
+                        default=list(DEFAULT_SIZES), metavar="BYTES",
+                        help="message sizes to probe "
+                             f"(default: {' '.join(map(str, DEFAULT_SIZES))})")
+    p_tune.add_argument("--clusters", type=int, nargs="+",
+                        default=list(DEFAULT_CLUSTERS), metavar="N",
+                        help="cluster counts to probe (default: "
+                             f"{' '.join(map(str, DEFAULT_CLUSTERS))})")
+    p_tune.add_argument("--nodes", type=int, default=4,
+                        help="nodes per cluster in probe topologies (4)")
+    p_tune.add_argument("--reps", type=int, default=3,
+                        help="repetitions per probe point (3)")
+    _add_impairment_flags(p_tune)
+    p_tune.add_argument("--seed", type=int, default=0,
+                        help="base scenario seed (default 0)")
+    p_tune.add_argument("--seeds", type=int, default=1, metavar="K",
+                        help="average probes over K consecutive seeds "
+                             "(impaired scenarios only)")
+    p_tune.add_argument("--out", default=None, metavar="PATH",
+                        help="write the fitted DecisionModel as JSON")
+    p_tune.add_argument("--apply", action="store_true",
+                        help="after fitting, run the apps fixed-vs-tuned "
+                             "on the calibration scenario and print a "
+                             "before/after table")
+    p_tune.add_argument("--apps", nargs="*", choices=PAPER_ORDER,
+                        default=None, metavar="APP",
+                        help="with --apply: restrict to these apps")
+    p_tune.add_argument("--variant", default="original",
+                        help="with --apply: app variant (original)")
+    p_tune.add_argument("--apply-nodes", type=int, default=8, metavar="N",
+                        help="with --apply: nodes per cluster (8); the "
+                             "cluster count is max(--clusters)")
+    _add_sweep_flags(p_tune)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the result cache")
     p_cache.add_argument("action", choices=["info", "clear"], nargs="?",
@@ -597,7 +734,8 @@ def main(argv=None) -> int:
     commands = {"list": cmd_list, "table": cmd_table, "figure": cmd_figure,
                 "app": cmd_app, "profile": cmd_profile, "trace": cmd_trace,
                 "chains": cmd_chains, "cache": cmd_cache,
-                "bench": cmd_bench, "scenario": cmd_scenario}
+                "bench": cmd_bench, "scenario": cmd_scenario,
+                "tune": cmd_tune}
     try:
         return commands[args.command](args)
     except _CLIError as exc:

@@ -11,6 +11,14 @@ repo commits three small JSON files at its root:
 * ``BENCH_fabric.json`` — messages/s per fabric path (fast tier)
 * ``BENCH_orca.json``   — broadcasts/RPCs/s per control-plane workload
   (fast tier, micro) plus whole-app runs/s (macro)
+* ``BENCH_collectives.json`` — collectives/s per tuner primitive (the
+  shaped/striped WAN paths) plus the tuner probe loop
+
+``--suite`` accepts a suite name or ``suite:tier`` (e.g.
+``engine:compiled``).  An *explicitly* requested suite or tier that has
+no committed baseline section, or that this host cannot measure, is a
+hard failure under ``--check``; only auto-discovered tiers (``--suite
+all`` / bare ``engine``) skip-loudly when the host cannot build them.
 
 ``--write`` refreshes them from a local run (do this on the machine
 that defines the baseline, typically CI hardware, after a deliberate
@@ -40,13 +48,15 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["main", "measure_engine", "measure_fabric", "measure_orca",
-           "write_baselines", "check_baselines", "SUITES"]
+           "measure_collectives", "write_baselines", "check_baselines",
+           "parse_suite_request", "SUITES"]
 
 ROOT = pathlib.Path(__file__).resolve().parents[3]
 
 ENGINE_JSON = ROOT / "BENCH_engine.json"
 FABRIC_JSON = ROOT / "BENCH_fabric.json"
 ORCA_JSON = ROOT / "BENCH_orca.json"
+COLLECTIVES_JSON = ROOT / "BENCH_collectives.json"
 
 
 def _import_benchmarks() -> None:
@@ -148,6 +158,17 @@ def measure_orca(repeat: int = 3) -> dict:
     return results
 
 
+def measure_collectives(repeat: int = 3) -> dict:
+    """Collectives/s per tuner primitive: the shaped/striped WAN paths
+    next to the flat default, plus the tuner's own probe loop."""
+    _import_benchmarks()
+    from bench_collectives_micro import run_suite
+
+    _text, data = run_suite(repeat=repeat)
+    return {name: {"ops_per_s": round(entry["ops_per_s"], 2)}
+            for name, entry in data.items()}
+
+
 def _flat_engine(results: dict) -> Dict[str, float]:
     if any(not isinstance(v, dict) for v in results.values()):
         return dict(results)  # pre-tier flat layout (old baselines)
@@ -170,7 +191,38 @@ SUITES: Dict[str, Tuple[pathlib.Path, Callable[[int], dict],
     "engine": (ENGINE_JSON, measure_engine, _flat_engine),
     "fabric": (FABRIC_JSON, measure_fabric, _flat_fabric),
     "orca": (ORCA_JSON, measure_orca, _flat_orca),
+    "collectives": (COLLECTIVES_JSON, measure_collectives, _flat_orca),
 }
+
+#: suites whose baseline JSON has one section per tier (``suite:tier``
+#: requests are only meaningful for these).
+TIERED_SUITES = ("engine",)
+
+
+def parse_suite_request(request: str) -> Tuple[List[str], Optional[str]]:
+    """Parse the ``--suite`` value into ``(suites, explicit_tier)``.
+
+    ``all`` expands to every registered suite; ``name`` selects one
+    suite; ``name:tier`` (tiered suites only) additionally pins one
+    baseline tier, which ``--check`` then must find both committed and
+    measurable.  Raises ``ValueError`` on unknown names.
+    """
+    if request == "all":
+        return sorted(SUITES), None
+    suite, sep, tier = request.partition(":")
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r} "
+                         f"(choose from all, {', '.join(sorted(SUITES))})")
+    if not sep:
+        return [suite], None
+    if suite not in TIERED_SUITES:
+        raise ValueError(f"suite {suite!r} has no tiers; "
+                         f"tier syntax applies to: "
+                         f"{', '.join(TIERED_SUITES)}")
+    if not tier:
+        raise ValueError(f"empty tier in {request!r} (want e.g. "
+                         f"{suite}:python)")
+    return [suite], tier
 
 
 # ---------------------------------------------------------- write / check
@@ -193,8 +245,16 @@ def write_baselines(repeat: int, suites: Sequence[str]) -> int:
     return 0
 
 
-def check_baselines(repeat: int, threshold: float,
-                    suites: Sequence[str]) -> int:
+def check_baselines(repeat: int, threshold: float, suites: Sequence[str],
+                    tier: Optional[str] = None) -> int:
+    """Re-measure ``suites`` and fail on regressions vs the committed
+    baselines.
+
+    ``tier`` (from an explicit ``suite:tier`` request) pins one baseline
+    tier of a tiered suite: it must then exist in the committed file AND
+    be measurable on this host, or the check fails — the skip-loudly
+    escape hatch is only for tiers the user did not ask for by name.
+    """
     failures: List[str] = []
     rows: List[Tuple[str, str, float, Optional[float], str]] = []
 
@@ -205,16 +265,34 @@ def check_baselines(repeat: int, threshold: float,
             continue
         committed_raw = json.loads(path.read_text())["results"]
         current_raw = measure(repeat)
-        if suite == "engine":
-            # A baseline written where the compiled core builds is still
-            # checkable on a compiler-less machine: skip (loudly) the
-            # tiers this machine cannot measure instead of failing.
-            for tier in [t for t, sec in committed_raw.items()
-                         if isinstance(sec, dict) and t not in current_raw]:
-                print(f"engine: {tier} tier unavailable on this machine "
-                      f"(no C compiler?); skipping its baselines")
-                committed_raw = {t: sec for t, sec in committed_raw.items()
-                                 if t != tier}
+        if suite in TIERED_SUITES:
+            if tier is not None:
+                # Explicit suite:tier request — no silent narrowing.
+                if tier not in committed_raw:
+                    failures.append(
+                        f"{suite}:{tier}: no committed baseline section "
+                        f"in {path.name} — run --write on a machine with "
+                        f"that tier")
+                    continue
+                if tier not in current_raw:
+                    failures.append(
+                        f"{suite}:{tier}: tier unavailable on this "
+                        f"machine (no C compiler?) — explicitly requested "
+                        f"tiers fail instead of skipping")
+                    continue
+                committed_raw = {tier: committed_raw[tier]}
+                current_raw = {tier: current_raw[tier]}
+            else:
+                # A baseline written where the compiled core builds is
+                # still checkable on a compiler-less machine: skip
+                # (loudly) the auto-discovered tiers this machine cannot
+                # measure instead of failing.
+                for t in [t for t, sec in committed_raw.items()
+                          if isinstance(sec, dict) and t not in current_raw]:
+                    print(f"{suite}: {t} tier unavailable on this machine "
+                          f"(no C compiler?); skipping its baselines")
+                    committed_raw = {u: sec for u, sec in
+                                     committed_raw.items() if u != t}
         committed = flatten(committed_raw)
         current = flatten(current_raw)
         for name, base in committed.items():
@@ -265,11 +343,18 @@ def main(argv=None) -> int:
                         help="repetitions per workload (best is reported)")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed fractional drop vs baseline (0.30)")
-    parser.add_argument("--suite", choices=["all"] + sorted(SUITES),
-                        default="all",
-                        help="restrict to one baseline suite (default: all)")
+    parser.add_argument("--suite", default="all", metavar="SUITE[:TIER]",
+                        help="restrict to one baseline suite, optionally "
+                             "one tier of it, e.g. engine:compiled "
+                             "(default: all)")
     args = parser.parse_args(argv)
-    suites = sorted(SUITES) if args.suite == "all" else [args.suite]
+    try:
+        suites, tier = parse_suite_request(args.suite)
+    except ValueError as exc:
+        parser.error(str(exc))
     if args.write:
+        if tier is not None:
+            parser.error("--write refreshes whole suites; drop the "
+                         ":tier suffix")
         return write_baselines(args.repeat, suites)
-    return check_baselines(args.repeat, args.threshold, suites)
+    return check_baselines(args.repeat, args.threshold, suites, tier=tier)

@@ -36,7 +36,8 @@ def run_app(app: Application, variant: str, n_clusters: int,
             tracer: Optional[Tracer] = None,
             fast_paths: bool = True,
             runtime_fast_paths: Optional[bool] = None,
-            scenario: Optional["Scenario"] = None) -> AppResult:
+            scenario: Optional["Scenario"] = None,
+            decision: Optional[Any] = None) -> AppResult:
     """Run ``app``/``variant`` on ``n_clusters`` x ``nodes_per_cluster``.
 
     ``dedicated_sequencer_node`` applies the paper's further broadcast
@@ -65,6 +66,13 @@ def run_app(app: Application, variant: str, n_clusters: int,
     ``scenario`` (a :class:`repro.scenario.Scenario`) applies WAN
     impairments, heterogeneity tweaks and timed faults to the run; a
     default/empty scenario is a guaranteed no-op (see docs/SCENARIOS.md).
+
+    ``decision`` (a :class:`repro.tuner.DecisionModel`) installs a
+    calibrated protocol-selection model: the Orca broadcast consults it
+    for PB/BB, WAN fan-out shape and striping, and the fabric for
+    point-to-point WAN striping.  ``None`` — the default — keeps the
+    fixed strategy, bit-identical to the pre-tuner stack (see
+    docs/TUNING.md).
     """
     app.check_variant(variant)
     # Run-local ids: traces (which join on message/request ids) come out
@@ -85,10 +93,12 @@ def run_app(app: Application, variant: str, n_clusters: int,
         sim.obs = fabric.tracer  # process-lifecycle records
     if scenario is not None:
         install(sim, fabric, scenario)
+    if decision is not None:
+        fabric.decision = decision
     seq_kind = sequencer if sequencer is not None else app.sequencer_for(variant)
     rts = OrcaRuntime(sim, fabric, sequencer=seq_kind,
                       dedicated_sequencer_node=dedicated_sequencer_node,
-                      fast_paths=runtime_fast_paths)
+                      fast_paths=runtime_fast_paths, decision=decision)
 
     shared = app.register(rts, params, variant)
     finished_at: List[float] = [0.0] * topo.n_nodes

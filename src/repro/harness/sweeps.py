@@ -59,7 +59,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: results are bit-identical by design).
 #: "2": RunSpec grew the ``scenario`` field (WAN impairments, faults,
 #: heterogeneity — see docs/SCENARIOS.md).
-CACHE_SCHEMA = "2"
+#: "3": RunSpec grew the ``decision`` field (tuned protocol selection —
+#: see docs/TUNING.md), and integer-typed scenario parameters are now
+#: stored as ints (``max_retries=8``, not ``8.0``).
+CACHE_SCHEMA = "3"
 
 
 def default_jobs() -> int:
@@ -117,6 +120,11 @@ class RunSpec:
     #: every model parameter and the seed, so it participates in the
     #: cache key and scenario runs cache like clean ones.
     scenario: Optional[Scenario] = None
+    #: Optional :class:`~repro.tuner.DecisionModel` (calibrated protocol
+    #: selection — see docs/TUNING.md).  Frozen/picklable; its ``repr``
+    #: spells out every fitted coefficient, so tuned and fixed runs have
+    #: distinct cache identities.
+    decision: Optional[Any] = None
 
     def __post_init__(self):
         if self.app not in ALL_APPS:
@@ -137,7 +145,7 @@ class RunSpec:
         text = repr((CACHE_SCHEMA, self.app, self.variant, self.n_clusters,
                      self.nodes_per_cluster, self.params, self.network,
                      self.sequencer, self.dedicated_sequencer_node,
-                     self.scenario))
+                     self.scenario, self.decision))
         return hashlib.sha256(text.encode()).hexdigest()
 
     def execute(self) -> AppResult:
@@ -150,7 +158,7 @@ class RunSpec:
                          network=self.network, sequencer=self.sequencer,
                          dedicated_sequencer_node=self.dedicated_sequencer_node,
                          trace=tracer is not None, tracer=tracer,
-                         scenario=self.scenario)
+                         scenario=self.scenario, decision=self.decision)
         if tracer is not None:
             result.trace_records = list(tracer.records)
         return result

@@ -104,6 +104,13 @@ class Fabric:
         #: deterministic event order — determinism is then *per seed*,
         #: not cross-tier (see docs/SCENARIOS.md).
         self.impair = None
+        #: Optional :class:`repro.tuner.DecisionModel`.  When installed,
+        #: point-to-point WAN transfers consult it for a striping factor
+        #: (MPWide-style parallel streams); striped transfers route
+        #: through the legacy generator leg like impaired ones.  ``None``
+        #: (the default tier) means one stream — bit-identical to the
+        #: pre-tuner fabric.  See docs/TUNING.md.
+        self.decision = None
 
         self.nodes: List[Node] = [
             Node(sim, nid, topo.cluster_of(nid)) for nid in range(topo.n_nodes)
@@ -152,6 +159,13 @@ class Fabric:
         """The compute node with global id ``nid``."""
         return self.nodes[nid]
 
+    def _p2p_streams(self, size: int) -> int:
+        """Striping factor for one point-to-point WAN transfer (1 =
+        no decision model installed = the fixed default)."""
+        if self.decision is None:
+            return 1
+        return max(1, self.decision.wan_streams(size, self.topo.n_clusters))
+
     def send(self, src: int, dst: int, size: int, payload: Any = None,
              port: str = "default", kind: str = "msg") -> Generator:
         """Generator: caller pays sender overhead, delivery runs in background.
@@ -178,10 +192,13 @@ class Fabric:
                 return self._fast_self(msg)
             if local:
                 return self._fast_lan(msg)
-            if self.impair is not None:
-                # Impaired WAN: the legacy leg draws and pays the
-                # perturbations in deterministic event order.
-                return self.sim.spawn(self._deliver_wan(msg), name="wanmsg")
+            streams = self._p2p_streams(size)
+            if self.impair is not None or streams > 1:
+                # Impaired or striped WAN: the legacy leg draws and pays
+                # the perturbations (and chunk legs) in deterministic
+                # event order.
+                return self.sim.spawn(self._deliver_wan(msg, streams),
+                                      name="wanmsg")
             return self._fast_wan(msg)
         yield self.sim.spawn(self.nodes[src].cpu.execute(cost))
         if src == dst:
@@ -189,7 +206,9 @@ class Fabric:
         elif local:
             done = self.sim.spawn(self._deliver_lan(msg), name="lanmsg")
         else:
-            done = self.sim.spawn(self._deliver_wan(msg), name="wanmsg")
+            done = self.sim.spawn(
+                self._deliver_wan(msg, self._p2p_streams(size)),
+                name="wanmsg")
         return done
 
     def send_and_wait(self, src: int, dst: int, size: int, payload: Any = None,
@@ -229,30 +248,42 @@ class Fabric:
             raise ValueError("gateway_multicast targets a *remote* cluster")
         access = self.params.access
         cost = access.o_send + size * access.per_byte_cpu
+        streams = self._p2p_streams(size)
         if self.fast_paths:
             yield self.nodes[src].cpu.execute_ev(cost)
-            if self.impair is not None:
+            if self.impair is not None or streams > 1:
                 return self.sim.spawn(
                     self._deliver_wan_multicast(src, dst_cluster, size,
-                                                payload, port, kind),
+                                                payload, port, kind, streams),
                     name="wanmcast")
             return self._fast_wan_multicast(src, dst_cluster, size, payload,
                                             port, kind)
         yield self.sim.spawn(self.nodes[src].cpu.execute(cost))
         done = self.sim.spawn(
             self._deliver_wan_multicast(src, dst_cluster, size, payload,
-                                        port, kind),
+                                        port, kind, streams),
             name="wanmcast")
         return done
 
     def wan_fanout_multicast(self, src: int, size: int, payload: Any = None,
-                             port: str = "default",
-                             kind: str = "msg") -> Generator:
+                             port: str = "default", kind: str = "msg",
+                             shape: str = "flat",
+                             streams: int = 1) -> Generator:
         """Broadcast to *all remote clusters*: one access-link trip to the
-        local gateway, then parallel WAN transfers on each PVC, each remote
-        gateway re-multicasting locally.  This is how the DAS gateways fan
-        out an Orca broadcast; the payload climbs the sender's access link
-        only once."""
+        local gateway, then WAN transfers on the PVCs, each remote gateway
+        re-multicasting locally.  This is how the DAS gateways fan out an
+        Orca broadcast; the payload climbs the sender's access link only
+        once.
+
+        ``shape`` picks the dissemination tree over the remote clusters
+        (``flat``: parallel PVC transfers from the source gateway —
+        the paper's shape and the default; ``chain``: a gateway relay,
+        each cluster forwarding to the next while its local multicast
+        proceeds; ``binomial``: recursive halving over the gateways).
+        ``streams`` stripes each WAN transfer over that many parallel
+        chunks.  Non-default shapes/streams run on the legacy generator
+        legs even on the fast tier — the defaults are bit-identical to
+        the pre-tuner fabric."""
         src_cluster = self.topo.cluster_of(src)
         remote = [c for c in range(self.topo.n_clusters) if c != src_cluster]
         if not remote:
@@ -263,17 +294,18 @@ class Fabric:
         cost = access.o_send + size * access.per_byte_cpu
         if self.fast_paths:
             yield self.nodes[src].cpu.execute_ev(cost)
-            if self.impair is not None:
+            if self.impair is not None or shape != "flat" or streams > 1:
                 return self.sim.spawn(
                     self._deliver_wan_fanout(src, src_cluster, remote, size,
-                                             payload, port, kind),
+                                             payload, port, kind, shape,
+                                             streams),
                     name="wanfanout")
             return self._fast_wan_fanout(src, src_cluster, remote, size,
                                          payload, port, kind)
         yield self.sim.spawn(self.nodes[src].cpu.execute(cost))
         done = self.sim.spawn(
             self._deliver_wan_fanout(src, src_cluster, remote, size, payload,
-                                     port, kind),
+                                     port, kind, shape, streams),
             name="wanfanout")
         return done
 
@@ -312,10 +344,13 @@ class Fabric:
                 done = self._fast_self(msg)
             elif local:
                 done = self._fast_lan(msg)
-            elif self.impair is not None:
-                done = self.sim.spawn(self._deliver_wan(msg), name="wanmsg")
             else:
-                done = self._fast_wan(msg)
+                streams = self._p2p_streams(size)
+                if self.impair is not None or streams > 1:
+                    done = self.sim.spawn(self._deliver_wan(msg, streams),
+                                          name="wanmsg")
+                else:
+                    done = self._fast_wan(msg)
             if then is not None:
                 then(done)
 
@@ -344,6 +379,7 @@ class Fabric:
     def wan_fanout_multicast_chain(self, src: int, size: int,
                                    payload: Any = None,
                                    port: str = "default", kind: str = "msg",
+                                   shape: str = "flat", streams: int = 1,
                                    then: Optional[Callable[[Event], None]]
                                    = None) -> None:
         """:meth:`wan_fanout_multicast` as a callback chain (see
@@ -360,10 +396,11 @@ class Fabric:
         cost = access.o_send + size * access.per_byte_cpu
 
         def _launch(_ev: Event) -> None:
-            if self.impair is not None:
+            if self.impair is not None or shape != "flat" or streams > 1:
                 done = self.sim.spawn(
                     self._deliver_wan_fanout(src, src_cluster, remote, size,
-                                             payload, port, kind),
+                                             payload, port, kind, shape,
+                                             streams),
                     name="wanfanout")
             else:
                 done = self._fast_wan_fanout(src, src_cluster, remote, size,
@@ -814,12 +851,16 @@ class Fabric:
             lan.o_recv + msg.size * lan.per_byte_cpu))
 
     def _wan_leg(self, msg_size: int, src_cluster: int, dst_cluster: int,
-                 msg_id: int = -1) -> Generator:
+                 msg_id: int = -1, streams: int = 1) -> Generator:
         """Gateway -> WAN PVC -> remote gateway (shared by all WAN paths).
 
         ``msg_id`` labels the trace records with the point-to-point
         message this leg serves; fan-out paths that share one leg among
-        many deliveries pass -1.
+        many deliveries pass -1.  ``streams`` > 1 stripes the PVC stage
+        over that many parallel chunk transfers (MPWide-style): chunks
+        still serialize on the capacity-1 PVC, but their latencies and —
+        under loss impairment — retransmit timeouts overlap.  The
+        gateway forwards bracket the whole transfer either way.
         """
         gwp = self.params.gateway
         wan = self.params.wan
@@ -833,33 +874,44 @@ class Fabric:
             now = self.sim.now
             tr.emit(now, "gw.forward", cluster=src_cluster, size=msg_size,
                     qdepth=qd, msg_id=msg_id, t0=t0, dur=now - t0)
-        # The PVC serializes transmissions; latency is pipeline delay.
-        tx = msg_size / wan.bandwidth
-        latency = wan.latency
-        imp = self.impair
-        if imp is not None:
-            plan = imp.plan(src_cluster, dst_cluster, msg_size, tx, latency,
-                            msg_id)
-            tx, latency = plan.tx, plan.latency
-            # Each lost transmission pays a full (impaired) serialization
-            # on the PVC plus the retransmit timeout before the copy
-            # that gets through.
-            for _ in range(plan.retries):
-                yield self.sim.spawn(self._occupy(
-                    self._wan[(src_cluster, dst_cluster)], tx, "wan",
-                    msg_size, msg_id))
-                yield self.sim.timeout(plan.rto)
-        t0 = self.sim.now
-        yield self.sim.spawn(self._occupy(
-            self._wan[(src_cluster, dst_cluster)], tx, "wan", msg_size,
-            msg_id))
-        self.meter.record_wan(msg_size)
-        yield self.sim.timeout(latency)
-        if traced:
-            now = self.sim.now
-            tr.emit(now, "wan.xfer", src_cluster=src_cluster,
-                    dst_cluster=dst_cluster, size=msg_size, tx=tx,
-                    msg_id=msg_id, t0=t0, dur=now - t0)
+        k = max(1, min(streams, msg_size))
+        if k > 1:
+            # Striped PVC stage: near-equal chunks, each drawing its own
+            # impairment plan, all in flight at once.
+            base, rem = divmod(msg_size, k)
+            chunks = [base + 1] * rem + [base] * (k - rem)
+            legs = [self.sim.spawn(
+                self._wan_stripe(chunk, src_cluster, dst_cluster, msg_id),
+                name="wanstripe") for chunk in chunks]
+            yield self.sim.all_of(legs)
+        else:
+            # The PVC serializes transmissions; latency is pipeline delay.
+            tx = msg_size / wan.bandwidth
+            latency = wan.latency
+            imp = self.impair
+            if imp is not None:
+                plan = imp.plan(src_cluster, dst_cluster, msg_size, tx,
+                                latency, msg_id)
+                tx, latency = plan.tx, plan.latency
+                # Each lost transmission pays a full (impaired)
+                # serialization on the PVC plus the retransmit timeout
+                # before the copy that gets through.
+                for _ in range(plan.retries):
+                    yield self.sim.spawn(self._occupy(
+                        self._wan[(src_cluster, dst_cluster)], tx, "wan",
+                        msg_size, msg_id))
+                    yield self.sim.timeout(plan.rto)
+            t0 = self.sim.now
+            yield self.sim.spawn(self._occupy(
+                self._wan[(src_cluster, dst_cluster)], tx, "wan", msg_size,
+                msg_id))
+            self.meter.record_wan(msg_size)
+            yield self.sim.timeout(latency)
+            if traced:
+                now = self.sim.now
+                tr.emit(now, "wan.xfer", src_cluster=src_cluster,
+                        dst_cluster=dst_cluster, size=msg_size, tx=tx,
+                        msg_id=msg_id, t0=t0, dur=now - t0)
         # Remote gateway store-and-forward.
         t0 = self.sim.now
         qd = yield self.sim.spawn(self._gw_execute(dst_cluster, fwd_cost))
@@ -867,6 +919,36 @@ class Fabric:
             now = self.sim.now
             tr.emit(now, "gw.forward", cluster=dst_cluster, size=msg_size,
                     qdepth=qd, msg_id=msg_id, t0=t0, dur=now - t0)
+
+    def _wan_stripe(self, chunk_size: int, src_cluster: int,
+                    dst_cluster: int, msg_id: int) -> Generator:
+        """One striped chunk of a WAN transfer: the PVC stage of
+        :meth:`_wan_leg` for ``chunk_size`` bytes."""
+        wan = self.params.wan
+        tr = self.tracer
+        tx = chunk_size / wan.bandwidth
+        latency = wan.latency
+        imp = self.impair
+        if imp is not None:
+            plan = imp.plan(src_cluster, dst_cluster, chunk_size, tx,
+                            latency, msg_id)
+            tx, latency = plan.tx, plan.latency
+            for _ in range(plan.retries):
+                yield self.sim.spawn(self._occupy(
+                    self._wan[(src_cluster, dst_cluster)], tx, "wan",
+                    chunk_size, msg_id))
+                yield self.sim.timeout(plan.rto)
+        t0 = self.sim.now
+        yield self.sim.spawn(self._occupy(
+            self._wan[(src_cluster, dst_cluster)], tx, "wan", chunk_size,
+            msg_id))
+        self.meter.record_wan(chunk_size)
+        yield self.sim.timeout(latency)
+        if tr.enabled:
+            now = self.sim.now
+            tr.emit(now, "wan.xfer", src_cluster=src_cluster,
+                    dst_cluster=dst_cluster, size=chunk_size, tx=tx,
+                    msg_id=msg_id, t0=t0, dur=now - t0)
 
     def _gw_execute(self, cluster: int, cost: float) -> Generator:
         """Charge ``cost`` to a gateway CPU; returns the queue depth.
@@ -911,13 +993,13 @@ class Fabric:
         yield self.sim.spawn(self.nodes[dst].cpu.execute(
             access.o_recv + msg.size * access.per_byte_cpu))
 
-    def _deliver_wan(self, msg: Message) -> Generator:
+    def _deliver_wan(self, msg: Message, streams: int = 1) -> Generator:
         src_cluster = self.topo.cluster_of(msg.src)
         dst_cluster = self.topo.cluster_of(msg.dst)
         yield self.sim.spawn(self._access_leg_up(msg.size, src_cluster,
                                                  msg.msg_id))
         yield self.sim.spawn(self._wan_leg(msg.size, src_cluster, dst_cluster,
-                                           msg.msg_id))
+                                           msg.msg_id, streams))
         yield self.sim.spawn(self._access_leg_down(msg, msg.dst))
         self._deposit(msg)
         return msg
@@ -950,20 +1032,87 @@ class Fabric:
 
     def _deliver_wan_fanout(self, src: int, src_cluster: int,
                             remote: List[int], size: int, payload: Any,
-                            port: str, kind: str) -> Generator:
+                            port: str, kind: str, shape: str = "flat",
+                            streams: int = 1) -> Generator:
         yield self.sim.spawn(self._access_leg_up(size, src_cluster))
+        if shape == "chain":
+            total = yield self.sim.spawn(
+                self._fanout_chain(src, src_cluster, remote, size, payload,
+                                   port, kind, streams),
+                name="fanchain")
+            return total
+        if shape == "binomial":
+            total = yield self.sim.spawn(
+                self._fanout_binomial(src, src_cluster, remote, size,
+                                      payload, port, kind, streams),
+                name="fanbinom")
+            return total
         legs = [self.sim.spawn(
             self._wan_leg_and_remote_multicast(src, src_cluster, c, size,
-                                               payload, port, kind))
+                                               payload, port, kind, streams))
             for c in remote]
         counts = yield self.sim.all_of(legs)
         return sum(counts)
 
+    def _fanout_chain(self, src: int, src_cluster: int, remote: List[int],
+                      size: int, payload: Any, port: str, kind: str,
+                      streams: int) -> Generator:
+        """Gateway relay: each cluster's gateway forwards the payload to
+        the next remote cluster while its own local multicast proceeds in
+        the background.  One PVC hop per link of the chain; the store-
+        and-forward costs inside :meth:`_wan_leg` are the relay cost."""
+        mcasts = []
+        prev = src_cluster
+        for c in remote:
+            yield self.sim.spawn(self._wan_leg(size, prev, c, -1, streams))
+            mcasts.append(self.sim.spawn(
+                self._remote_gateway_multicast(src, c, size, payload, port,
+                                               kind)))
+            prev = c
+        counts = yield self.sim.all_of(mcasts)
+        return sum(counts)
+
+    def _fanout_binomial(self, src: int, src_cluster: int, remote: List[int],
+                         size: int, payload: Any, port: str, kind: str,
+                         streams: int) -> Generator:
+        """Recursive halving over the cluster gateways: the source covers
+        the farthest half first, then each new holder re-broadcasts into
+        its own half — ceil(log2(n_clusters)) rounds of parallel hops."""
+        order = [src_cluster] + remote
+        sim = self.sim
+        done = Event(sim)
+        state = [0, len(remote)]  # delivered count, outstanding multicasts
+
+        def mcast_then_count(dst_c: int) -> Generator:
+            n = yield sim.spawn(
+                self._remote_gateway_multicast(src, dst_c, size, payload,
+                                               port, kind))
+            state[0] += n
+            state[1] -= 1
+            if not state[1]:
+                done.succeed(state[0])
+
+        def branch(lo: int, hi: int) -> Generator:
+            # order[lo] holds the payload and covers order[lo+1:hi].
+            while hi - lo > 1:
+                mid = (lo + hi + 1) // 2
+                yield sim.spawn(self._wan_leg(size, order[lo], order[mid],
+                                              -1, streams))
+                sim.spawn(mcast_then_count(order[mid]), name="fanmcast")
+                if hi - mid > 1:
+                    sim.spawn(branch(mid, hi), name="fanbranch")
+                hi = mid
+
+        sim.spawn(branch(0, len(order)), name="fanbranch")
+        total = yield done
+        return total
+
     def _wan_leg_and_remote_multicast(self, src: int, src_cluster: int,
                                       dst_cluster: int, size: int,
-                                      payload: Any, port: str,
-                                      kind: str) -> Generator:
-        yield self.sim.spawn(self._wan_leg(size, src_cluster, dst_cluster))
+                                      payload: Any, port: str, kind: str,
+                                      streams: int = 1) -> Generator:
+        yield self.sim.spawn(self._wan_leg(size, src_cluster, dst_cluster,
+                                           -1, streams))
         n = yield self.sim.spawn(
             self._remote_gateway_multicast(src, dst_cluster, size, payload,
                                            port, kind))
@@ -987,12 +1136,14 @@ class Fabric:
         return len(waits)
 
     def _deliver_wan_multicast(self, src: int, dst_cluster: int, size: int,
-                               payload: Any, port: str, kind: str) -> Generator:
+                               payload: Any, port: str, kind: str,
+                               streams: int = 1) -> Generator:
         src_cluster = self.topo.cluster_of(src)
         yield self.sim.spawn(self._access_leg_up(size, src_cluster))
         n = yield self.sim.spawn(
             self._wan_leg_and_remote_multicast(src, src_cluster, dst_cluster,
-                                               size, payload, port, kind))
+                                               size, payload, port, kind,
+                                               streams))
         return n
 
     # ---------------------------------------------------------------- util

@@ -216,6 +216,15 @@ KINDS: Dict[str, KindSpec] = {spec.name: spec for spec in [
           msg_id=("int", "message the transfer served; -1 on shared legs"),
           extra=("float", "virtual seconds this model added"),
           retries=("int", "lost transmissions (loss model); 0 otherwise")),
+    # ------------------------------------------ tuner (repro.tuner)
+    _spec("tune.probe", "repro.tuner.driver", True,
+          "one tuner microbenchmark probe: a collective primitive "
+          "measured inside the simulator",
+          primitive=("str", "probed primitive, e.g. bcast_pb / "
+                            "fanout_chain / stripe_4"),
+          size=("int", "probe payload bytes"),
+          clusters=("int", "cluster count of the probe topology"),
+          rep=("int", "repetition index within the probe")),
     # ------------------------------------- sweep harness (host-side)
     # The one host-side kind: ``time`` is host seconds since the batch
     # started, not virtual time (a sweep spans many simulations).

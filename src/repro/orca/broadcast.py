@@ -66,7 +66,8 @@ class TotalOrderBroadcast:
                  fast_paths: bool = False,
                  apply_fast: Optional[Callable[[int, BcastPayload,
                                                 Callable[[Any], None]],
-                                               None]] = None):
+                                               None]] = None,
+                 decision: Optional[Any] = None):
         """``apply_fn(node, payload)`` is a generator provided by the
         runtime that executes the operation on ``node``'s replica and
         charges its CPU; it returns the op result.
@@ -77,12 +78,20 @@ class TotalOrderBroadcast:
         ``k(result)`` where the generator would return — must be
         provided.  The two tiers are bit-identical in virtual time,
         traffic, and trace records; see ``_arm`` for the parity
-        argument."""
+        argument.
+
+        ``decision`` is an optional :class:`repro.tuner.DecisionModel`:
+        when installed, every broadcast asks it for the PB/BB protocol,
+        the WAN fan-out shape, and the striping factor instead of using
+        the fixed ``size >= BB_THRESHOLD`` rule and the flat tree.
+        ``None`` keeps the fixed strategy — bit-identical to the
+        pre-tuner runtime (see docs/TUNING.md)."""
         self.sim = sim
         self.fabric = fabric
         self.topo = fabric.topo
         self.protocol = protocol
         self.apply_fn = apply_fn
+        self.decision = decision
         self.fast_paths = fast_paths
         self.apply_fast = apply_fast
         if fast_paths and apply_fast is None:
@@ -151,7 +160,12 @@ class TotalOrderBroadcast:
         sender_cluster = self.topo.cluster_of(sender)
         stamp_cluster = self.protocol.stamping_cluster(sender_cluster)
         stamp_node = self.stamping_node(stamp_cluster)
-        bb_mode = size >= BB_THRESHOLD
+        if self.decision is None:
+            bb_mode = size >= BB_THRESHOLD
+            shape, streams = "flat", 1
+        else:
+            strat = self.decision.strategy(size, self.topo.n_clusters)
+            bb_mode, shape, streams = strat.bb, strat.shape, strat.streams
         tr = self.fabric.tracer
         traced = tr.enabled
         t_issue = self.sim.now
@@ -222,16 +236,16 @@ class TotalOrderBroadcast:
                 # Quiet instant: launch the chain inline — the spawn
                 # bootstrap a process-based dissemination would pay is
                 # unobservable here.
-                self._fast_disseminate(origin, payload, size)
+                self._fast_disseminate(origin, payload, size, shape, streams)
             else:
                 # Busy instant: defer one dispatch, the exact depth of
                 # the legacy spawn bootstrap.
                 self.sim._n_fallback += 1
                 self.sim.after(0.0, lambda _ev: self._fast_disseminate(
-                    origin, payload, size))
+                    origin, payload, size, shape, streams))
         else:
             self.sim.spawn(self._disseminate(origin, origin_cluster, payload,
-                                             size),
+                                             size, shape, streams),
                            name=f"dissem{seq}")
 
         # 4./5. Wait until our own node applied it.
@@ -246,19 +260,21 @@ class TotalOrderBroadcast:
     # ------------------------------------------------------------ internals
 
     def _disseminate(self, stamp_node: int, stamp_cluster: int,
-                     payload: BcastPayload, size: int) -> Generator:
+                     payload: BcastPayload, size: int, shape: str = "flat",
+                     streams: int = 1) -> Generator:
         waits = []
         # Local multicast within the stamping cluster.
         done = yield from self.fabric.multicast_local(
             stamp_node, size, payload=payload, port=BCAST_PORT,
             kind="bcast")
         waits.append(done)
-        # One trip up the access link, then parallel WAN transfers on each
-        # PVC; every remote gateway re-multicasts into its cluster.
+        # One trip up the access link, then WAN transfers on the PVCs
+        # (tree shape and striping from the installed strategy); every
+        # remote gateway re-multicasts into its cluster.
         if self.topo.n_clusters > 1:
             done = yield from self.fabric.wan_fanout_multicast(
                 stamp_node, size, payload=payload, port=BCAST_PORT,
-                kind="bcast")
+                kind="bcast", shape=shape, streams=streams)
             waits.append(done)
         yield self.sim.all_of(waits)
 
@@ -308,14 +324,15 @@ class TotalOrderBroadcast:
     #   the dissemination process, so it is unobservable.
 
     def _fast_disseminate(self, origin: int, payload: BcastPayload,
-                          size: int) -> None:
+                          size: int, shape: str = "flat",
+                          streams: int = 1) -> None:
         fab = self.fabric
         if self.topo.n_clusters > 1:
             fab.multicast_local_chain(
                 origin, size, payload=payload, port=BCAST_PORT, kind="bcast",
                 then=lambda _done: fab.wan_fanout_multicast_chain(
                     origin, size, payload=payload, port=BCAST_PORT,
-                    kind="bcast"))
+                    kind="bcast", shape=shape, streams=streams))
         else:
             fab.multicast_local_chain(origin, size, payload=payload,
                                       port=BCAST_PORT, kind="bcast")

@@ -63,7 +63,8 @@ class OrcaRuntime:
     def __init__(self, sim: Simulator, fabric: Fabric,
                  sequencer: str = "distributed",
                  dedicated_sequencer_node: bool = False,
-                 fast_paths: Optional[bool] = None):
+                 fast_paths: Optional[bool] = None,
+                 decision: Optional[Any] = None):
         """``fast_paths`` selects the control-plane tier: ``True`` runs
         broadcast delivery and RPC service as flat callback chains,
         ``False`` as generator processes, ``None`` (default) inherits
@@ -71,7 +72,12 @@ class OrcaRuntime:
         time, answers, traffic, and trace records; the fast tier only
         reduces host-side event and process counts.  Runtime fast paths
         require a fast-path fabric — the chains call the fabric's
-        chain-style entry points directly."""
+        chain-style entry points directly.
+
+        ``decision`` is an optional :class:`repro.tuner.DecisionModel`
+        consulted per broadcast for the PB/BB protocol, WAN fan-out
+        shape, and striping factor; ``None`` keeps the fixed strategy
+        (bit-identical to the pre-tuner runtime).  See docs/TUNING.md."""
         self.sim = sim
         self.fabric = fabric
         self.topo = fabric.topo
@@ -91,7 +97,8 @@ class OrcaRuntime:
         self.tob = TotalOrderBroadcast(
             sim, fabric, self.protocol, self._apply_bcast,
             dedicated_sequencer_node=dedicated_sequencer_node,
-            fast_paths=self.fast_paths, apply_fast=self._apply_bcast_fast)
+            fast_paths=self.fast_paths, apply_fast=self._apply_bcast_fast,
+            decision=decision)
         self.specs: Dict[str, ObjectSpec] = {}
         # Replicated objects: one replica per node.  Non-replicated: the
         # owner's replica only, at [owner].

@@ -33,8 +33,11 @@ class ModelSpec:
     """One registered scenario model.
 
     ``params`` maps parameter name -> (default value, unit/meaning).
-    ``target`` describes what the model's target label (faults only)
-    names; impairments apply to every WAN PVC and take no target.
+    A parameter whose *default* is an ``int`` is integer-typed: values
+    are validated and stored as ``int`` (``8``, never ``8.0``) at
+    :class:`~repro.scenario.spec.Scenario` parse time.  ``target``
+    describes what the model's target label (faults only) names;
+    impairments apply to every WAN PVC and take no target.
     """
 
     name: str
@@ -45,6 +48,12 @@ class ModelSpec:
 
     def defaults(self) -> Dict[str, float]:
         return {name: default for name, default, _unit in self.params}
+
+    def integer_params(self) -> Tuple[str, ...]:
+        """Names of the integer-typed parameters (int defaults)."""
+        return tuple(name for name, default, _unit in self.params
+                     if isinstance(default, int) and not
+                     isinstance(default, bool))
 
 
 def _imp(name: str, doc: str, *params: Tuple[str, float, str]) -> ModelSpec:
@@ -69,7 +78,7 @@ IMPAIRMENTS: Dict[str, ModelSpec] = {spec.name: spec for spec in [
          "timeout",
          ("p", 0.01, "loss probability per attempt (0..1)"),
          ("rto", 0.05, "retransmit timeout per lost attempt, seconds"),
-         ("max_retries", 8.0, "cap on retransmissions per transfer")),
+         ("max_retries", 8, "cap on retransmissions per transfer")),
     _imp("bw_dip",
          "periodic bandwidth dips: during a deterministic, seeded-phase "
          "window the PVC serializes at a fraction of its bandwidth",

@@ -44,6 +44,7 @@ def _freeze_params(name: str, params: Dict[str, float],
         raise ValueError(f"{name!r} is a {spec.kind} model, not a "
                          f"{registry_kind}")
     known = spec.defaults()
+    integers = set(spec.integer_params())
     for key in params:
         if key not in known:
             raise ValueError(
@@ -51,7 +52,24 @@ def _freeze_params(name: str, params: Dict[str, float],
                 f"it takes {sorted(known) or 'no parameters'}")
     merged = dict(known)
     merged.update(params)
-    return tuple(sorted((k, float(v)) for k, v in merged.items()))
+    frozen = []
+    for key, raw in merged.items():
+        value = float(raw)
+        if value != value:  # NaN never compares equal to itself
+            raise ValueError(f"{name}.{key} must be a number, got NaN")
+        if value < 0:
+            raise ValueError(f"{name}.{key} must be >= 0, got {raw!r}")
+        if key in integers:
+            # Integer-typed parameter (int default in the registry):
+            # store a genuine int so reprs, hashes and cache keys never
+            # carry `8.0` where `8` is meant.
+            if not value.is_integer():
+                raise ValueError(
+                    f"{name}.{key} must be an integer, got {raw!r}")
+            frozen.append((key, int(value)))
+        else:
+            frozen.append((key, value))
+    return tuple(sorted(frozen))
 
 
 @dataclass(frozen=True)
@@ -80,7 +98,12 @@ class Impairment:
         for key, value in self.params:
             if key == name:
                 return value
-        return IMPAIRMENTS[self.model].defaults()[name]
+        defaults = IMPAIRMENTS[self.model].defaults()
+        if name not in defaults:
+            raise ValueError(
+                f"{self.model!r} has no parameter {name!r}; "
+                f"it takes {sorted(defaults) or 'no parameters'}")
+        return defaults[name]
 
 
 @dataclass(frozen=True)
@@ -117,7 +140,12 @@ class Fault:
         for key, value in self.params:
             if key == name:
                 return value
-        return FAULTS[self.model].defaults()[name]
+        defaults = FAULTS[self.model].defaults()
+        if name not in defaults:
+            raise ValueError(
+                f"{self.model!r} has no parameter {name!r}; "
+                f"it takes {sorted(defaults) or 'no parameters'}")
+        return defaults[name]
 
 
 @dataclass(frozen=True)

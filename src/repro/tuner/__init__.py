@@ -1,0 +1,41 @@
+"""Auto-tuned collectives: calibrate, fit, and install a DecisionModel.
+
+The tuner closes the loop the paper leaves open: instead of hard-wiring
+the PB/BB switch at ``BB_THRESHOLD`` and always using the flat WAN
+fan-out tree, it *measures* each collective primitive inside the
+simulator (optionally under scenario impairments), fits per-primitive
+cost lines, and freezes the result into a :class:`DecisionModel` the
+Orca runtime and the fabric consult at runtime.  With no model
+installed, everything is bit-identical to the fixed strategy.
+
+See docs/TUNING.md for the primitive reference, the cost model, the
+``repro tune`` CLI, and the caveats.
+"""
+
+from .model import (FAN_OUT_SHAPES, FIXED_STRATEGY, STREAM_CHOICES,
+                    ContextModel, DecisionModel, FittedLine, Strategy,
+                    crossover, fit_line)
+from .primitives import PRIMITIVES, PrimitiveSpec
+from .driver import (DEFAULT_CLUSTERS, DEFAULT_SIZES, Probe, fit,
+                     format_model, sweep, tune)
+
+__all__ = [
+    "FAN_OUT_SHAPES",
+    "STREAM_CHOICES",
+    "FIXED_STRATEGY",
+    "Strategy",
+    "FittedLine",
+    "ContextModel",
+    "DecisionModel",
+    "crossover",
+    "fit_line",
+    "PRIMITIVES",
+    "PrimitiveSpec",
+    "Probe",
+    "sweep",
+    "fit",
+    "tune",
+    "format_model",
+    "DEFAULT_SIZES",
+    "DEFAULT_CLUSTERS",
+]

@@ -1,0 +1,252 @@
+"""Fitted cost models and the frozen :class:`DecisionModel`.
+
+The tuner (see :mod:`repro.tuner.driver`) measures each collective
+primitive inside the simulator over a grid of message sizes, cluster
+counts and scenarios, then fits one LogP-style linear cost line
+
+    cost(size) = a + b * size        (virtual seconds)
+
+per (primitive, cluster-count) context.  A :class:`DecisionModel` is
+the frozen product of such a sweep: per cluster count it stores the
+fitted lines and answers the runtime's one question — *which protocol
+for this message?* — by evaluating them:
+
+* **PB vs BB** — the fitted crossover of the two ordering protocols
+  replaces the hard-wired ``BB_THRESHOLD``;
+* **WAN fan-out shape** — ``flat`` / ``chain`` / ``binomial``
+  dissemination trees, argmin of their lines at the message size;
+* **WAN striping** — how many parallel streams to split a WAN transfer
+  into (MPWide-style), argmin of the per-``k`` lines.
+
+With no model installed (``decision=None`` everywhere) the runtime uses
+the fixed strategy — ``BB_THRESHOLD``, flat fan-out, one stream — and
+is bit-identical to the pre-tuner code; every golden suite runs in that
+tier.  Models are plain frozen dataclasses: hashable, picklable, with a
+field-by-field ``repr`` (so a :class:`~repro.harness.sweeps.RunSpec`
+carrying one caches correctly), and JSON round-trippable for
+``repro tune --out`` / ``--apply``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..orca.broadcast import BB_THRESHOLD
+
+__all__ = [
+    "FAN_OUT_SHAPES",
+    "STREAM_CHOICES",
+    "Strategy",
+    "FittedLine",
+    "ContextModel",
+    "DecisionModel",
+    "FIXED_STRATEGY",
+]
+
+#: The WAN dissemination tree shapes the fabric implements (see
+#: :meth:`repro.network.fabric.Fabric.wan_fanout_multicast`).
+FAN_OUT_SHAPES = ("flat", "chain", "binomial")
+
+#: Stream counts the tuner probes for WAN striping.
+STREAM_CHOICES = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One runtime decision: ordering protocol, tree shape, striping."""
+
+    bb: bool                 # True: sender broadcasts (BB); False: PB
+    shape: str = "flat"      # WAN fan-out tree shape
+    streams: int = 1         # WAN striping factor (1 = no striping)
+
+    def __post_init__(self):
+        if self.shape not in FAN_OUT_SHAPES:
+            raise ValueError(f"unknown fan-out shape {self.shape!r}; "
+                             f"choose from {FAN_OUT_SHAPES}")
+        if self.streams < 1:
+            raise ValueError(f"streams must be >= 1: {self.streams}")
+
+
+#: The fixed default tier: exactly the pre-tuner runtime behavior.
+FIXED_STRATEGY = Strategy(bb=False, shape="flat", streams=1)
+
+
+@dataclass(frozen=True)
+class FittedLine:
+    """``cost(size) = a + b * size`` — one primitive's fitted cost."""
+
+    a: float  # fixed cost, virtual seconds
+    b: float  # per-byte cost, virtual seconds/byte
+
+    def cost(self, size: int) -> float:
+        return self.a + self.b * size
+
+
+@dataclass(frozen=True)
+class ContextModel:
+    """The fitted lines for one cluster count.
+
+    ``bb_threshold`` is the precomputed PB/BB crossover (the size at
+    which the fitted BB line undercuts the PB line); ``shapes`` and
+    ``streams`` hold one line per probed alternative and are evaluated
+    at the message size when the runtime asks for a strategy.
+    """
+
+    n_clusters: int
+    pb: FittedLine
+    bb: FittedLine
+    bb_threshold: float
+    shapes: Tuple[Tuple[str, FittedLine], ...] = ()
+    streams: Tuple[Tuple[int, FittedLine], ...] = ()
+
+    def best_shape(self, size: int) -> str:
+        if not self.shapes:
+            return "flat"
+        return min(self.shapes, key=lambda kv: (kv[1].cost(size),
+                                                FAN_OUT_SHAPES.index(kv[0])))[0]
+
+    def best_streams(self, size: int) -> int:
+        if not self.streams:
+            return 1
+        return min(self.streams, key=lambda kv: (kv[1].cost(size), kv[0]))[0]
+
+    def strategy(self, size: int) -> Strategy:
+        return Strategy(bb=size >= self.bb_threshold,
+                        shape=self.best_shape(size),
+                        streams=self.best_streams(size))
+
+
+def crossover(pb: FittedLine, bb: FittedLine,
+              default: float = float(BB_THRESHOLD)) -> float:
+    """The size where the BB line undercuts PB (the fitted threshold).
+
+    Parallel or inverted lines have no finite crossover: if BB is never
+    cheaper the threshold is ``inf`` (always PB); if BB is cheaper from
+    size zero it is ``0.0`` (always BB); ``default`` is only used when
+    the lines are numerically identical.
+    """
+    da, db = bb.a - pb.a, bb.b - pb.b
+    if db == 0.0:
+        if da == 0.0:
+            return default
+        return 0.0 if da < 0 else float("inf")
+    x = -da / db
+    if db < 0:  # BB gets *relatively* cheaper with size (the usual case)
+        return max(0.0, x)
+    # BB only cheaper below x — clamp to "always/never" semantics.
+    return 0.0 if x > 0 and pb.a > bb.a else float("inf")
+
+
+@dataclass(frozen=True)
+class DecisionModel:
+    """A frozen, calibrated protocol-selection model.
+
+    ``contexts`` maps cluster counts to their fitted
+    :class:`ContextModel`; lookups for an unprobed cluster count use
+    the nearest probed one (ties break toward fewer clusters), so a
+    model swept at 2 and 4 clusters still answers for 3.  ``source``
+    is a human-readable note about the calibration grid.
+    """
+
+    contexts: Tuple[Tuple[int, ContextModel], ...]
+    source: str = ""
+
+    def __post_init__(self):
+        seen = [c for c, _m in self.contexts]
+        if len(seen) != len(set(seen)):
+            raise ValueError(f"duplicate cluster contexts: {seen}")
+
+    def context_for(self, n_clusters: int) -> ContextModel:
+        if not self.contexts:
+            raise ValueError("empty DecisionModel has no contexts")
+        return min(self.contexts,
+                   key=lambda kv: (abs(kv[0] - n_clusters), kv[0]))[1]
+
+    def strategy(self, size: int, n_clusters: int) -> Strategy:
+        """The calibrated strategy for one message."""
+        if n_clusters <= 1:
+            # No WAN: shape/striping are moot; PB/BB still applies
+            # (the stamping site may be another node in the cluster).
+            ctx = self.context_for(n_clusters)
+            return Strategy(bb=size >= ctx.bb_threshold)
+        return self.context_for(n_clusters).strategy(size)
+
+    def wan_streams(self, size: int, n_clusters: int) -> int:
+        """Striping factor for one point-to-point WAN transfer."""
+        if n_clusters <= 1:
+            return 1
+        return self.context_for(n_clusters).best_streams(size)
+
+    # ------------------------------------------------------------- JSON
+
+    def to_json(self) -> str:
+        def line(ln: FittedLine) -> Dict[str, float]:
+            return {"a": ln.a, "b": ln.b}
+
+        payload = {
+            "model": "repro.tuner.DecisionModel",
+            "version": 1,
+            "source": self.source,
+            "contexts": [
+                {
+                    "n_clusters": n,
+                    "pb": line(ctx.pb),
+                    "bb": line(ctx.bb),
+                    "bb_threshold": ctx.bb_threshold,
+                    "shapes": {name: line(ln) for name, ln in ctx.shapes},
+                    "streams": {str(k): line(ln) for k, ln in ctx.streams},
+                }
+                for n, ctx in self.contexts
+            ],
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "DecisionModel":
+        payload = json.loads(text)
+        if payload.get("model") != "repro.tuner.DecisionModel":
+            raise ValueError("not a repro.tuner.DecisionModel JSON document")
+        if payload.get("version") != 1:
+            raise ValueError(
+                f"unsupported DecisionModel version {payload.get('version')!r}")
+
+        def line(d: Dict[str, float]) -> FittedLine:
+            return FittedLine(a=float(d["a"]), b=float(d["b"]))
+
+        contexts = []
+        for ctx in payload["contexts"]:
+            contexts.append((int(ctx["n_clusters"]), ContextModel(
+                n_clusters=int(ctx["n_clusters"]),
+                pb=line(ctx["pb"]),
+                bb=line(ctx["bb"]),
+                bb_threshold=float(ctx["bb_threshold"]),
+                shapes=tuple(sorted(
+                    (name, line(d)) for name, d in ctx["shapes"].items())),
+                streams=tuple(sorted(
+                    (int(k), line(d)) for k, d in ctx["streams"].items())),
+            )))
+        return cls(contexts=tuple(contexts), source=payload.get("source", ""))
+
+
+def fit_line(points) -> FittedLine:
+    """Least-squares ``a + b*size`` over ``(size, cost)`` pairs.
+
+    Closed-form 1-D fit — no numpy.  A single point degenerates to a
+    flat line through it; identical sizes fit their mean.
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("cannot fit a cost line to zero points")
+    n = len(pts)
+    sx = sum(x for x, _y in pts)
+    sy = sum(y for _x, y in pts)
+    sxx = sum(x * x for x, _y in pts)
+    sxy = sum(x * y for x, y in pts)
+    denom = n * sxx - sx * sx
+    if denom == 0:
+        return FittedLine(a=sy / n, b=0.0)
+    b = (n * sxy - sx * sy) / denom
+    a = (sy - b * sx) / n
+    return FittedLine(a=a, b=b)

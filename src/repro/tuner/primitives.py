@@ -1,0 +1,62 @@
+"""The registry of collective primitives the tuner probes.
+
+This is the machine-readable source of truth for what the tuner can
+measure — the same role :data:`repro.obs.schema.KINDS` plays for trace
+records and :data:`repro.scenario.models.IMPAIRMENTS` for scenario
+models.  ``docs/TUNING.md`` documents every primitive for humans, and
+``tools/check_docs.py`` (the CI docs job) keeps the two in lockstep both
+ways: a primitive registered here without a reference section, or a
+documented primitive that is not registered, fails the build.
+
+Each entry names one microbenchmark the driver runs inside the
+simulator (see :mod:`repro.tuner.driver`); the ``stripe`` primitive is
+probed once per stream count in
+:data:`repro.tuner.model.STREAM_CHOICES`, labelled ``stripe_<k>`` in
+``tune.probe`` trace records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["PrimitiveSpec", "PRIMITIVES"]
+
+
+@dataclass(frozen=True)
+class PrimitiveSpec:
+    """One registered collective primitive."""
+
+    name: str
+    doc: str       # one-line human description
+    wan_only: bool  # True: only probed on multi-cluster topologies
+
+
+def _prim(name: str, doc: str, wan_only: bool = True) -> PrimitiveSpec:
+    return PrimitiveSpec(name=name, doc=doc, wan_only=wan_only)
+
+
+#: Every primitive the tuner can probe.
+PRIMITIVES: Dict[str, PrimitiveSpec] = {spec.name: spec for spec in [
+    _prim("bcast_pb",
+          "PB ordered broadcast: ship the full operation to the "
+          "sequencer's node, which stamps and disseminates it",
+          wan_only=False),
+    _prim("bcast_bb",
+          "BB ordered broadcast: a small sequence-number request travels "
+          "to the sequencer and back; the sender disseminates",
+          wan_only=False),
+    _prim("fanout_flat",
+          "flat WAN fan-out: the source gateway sends on every PVC in "
+          "parallel (the paper's shape, and the fixed default)"),
+    _prim("fanout_chain",
+          "chain WAN fan-out: a gateway relay, each cluster forwarding "
+          "to the next while its local multicast proceeds"),
+    _prim("fanout_binomial",
+          "binomial WAN fan-out: recursive halving over the cluster "
+          "gateways, ceil(log2 n) rounds of parallel hops"),
+    _prim("stripe",
+          "k-stream WAN striping of one point-to-point transfer "
+          "(MPWide-style): chunks still serialize on the PVC, but "
+          "latencies and loss-retransmit timeouts overlap"),
+]}

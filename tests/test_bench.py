@@ -63,3 +63,75 @@ def test_committed_engine_baseline_is_sectioned_per_tier():
     assert all(isinstance(v, dict) for v in results.values())
     for section in results.values():
         assert "TOTAL" in section
+
+
+def test_parse_suite_request():
+    suites, tier = bench.parse_suite_request("all")
+    assert suites == sorted(bench.SUITES) and tier is None
+    assert "collectives" in suites
+    assert bench.parse_suite_request("orca") == (["orca"], None)
+    assert bench.parse_suite_request("engine:compiled") \
+        == (["engine"], "compiled")
+    import pytest
+    with pytest.raises(ValueError, match="unknown suite"):
+        bench.parse_suite_request("nosuch")
+    with pytest.raises(ValueError, match="no tiers"):
+        bench.parse_suite_request("orca:python")
+    with pytest.raises(ValueError, match="empty tier"):
+        bench.parse_suite_request("engine:")
+
+
+def test_check_explicit_tier_fails_when_not_committed(tmp_path, capsys,
+                                                      monkeypatch):
+    """suite:tier names a section the baseline file lacks -> hard fail,
+    unlike the auto-discovery skip."""
+    committed = {"python": {"a": 100, "TOTAL": 100}}
+    measured = {"python": {"a": 100, "TOTAL": 100},
+                "compiled": {"a": 400, "TOTAL": 400}}
+    _fake_engine_suite(tmp_path, committed, measured, monkeypatch)
+    rc = bench.check_baselines(repeat=1, threshold=0.30, suites=["engine"],
+                               tier="compiled")
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "no committed baseline section" in out
+
+
+def test_check_explicit_tier_fails_when_unmeasurable(tmp_path, capsys,
+                                                     monkeypatch):
+    """An explicitly requested tier this host cannot measure fails
+    instead of skipping loudly."""
+    committed = {"python": {"a": 100, "TOTAL": 100},
+                 "compiled": {"a": 400, "TOTAL": 400}}
+    measured = {"python": {"a": 100, "TOTAL": 100}}  # no compiler here
+    _fake_engine_suite(tmp_path, committed, measured, monkeypatch)
+    rc = bench.check_baselines(repeat=1, threshold=0.30, suites=["engine"],
+                               tier="compiled")
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "explicitly requested tiers fail instead of skipping" in out
+
+
+def test_check_explicit_tier_restricts_to_that_tier(tmp_path, capsys,
+                                                    monkeypatch):
+    committed = {"python": {"a": 100, "TOTAL": 100},
+                 "compiled": {"a": 400, "TOTAL": 400}}
+    measured = {"python": {"a": 5, "TOTAL": 5},  # would regress...
+                "compiled": {"a": 400, "TOTAL": 400}}
+    _fake_engine_suite(tmp_path, committed, measured, monkeypatch)
+    rc = bench.check_baselines(repeat=1, threshold=0.30, suites=["engine"],
+                               tier="compiled")
+    out = capsys.readouterr().out
+    assert rc == 0  # ...but only the requested tier is checked
+    assert "python/a" not in out
+
+
+def test_committed_collectives_baseline_exists():
+    """PR 8 commits BENCH_collectives.json with the shaped/striped
+    fan-out workloads and the tuner probe loop."""
+    data = json.loads(bench.COLLECTIVES_JSON.read_text())
+    assert data["bench"] == "collectives"
+    names = set(data["results"])
+    assert {"fanout_flat", "fanout_chain", "fanout_binomial", "stripe4",
+            "tune_probe"} <= names
+    for entry in data["results"].values():
+        assert entry["ops_per_s"] > 0

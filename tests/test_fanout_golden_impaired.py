@@ -1,0 +1,117 @@
+"""Golden equivalence: WAN fan-out fallback routes, fast tier vs legacy.
+
+The fast tier keeps its callback chains only for the unimpaired,
+flat-shape, single-stream fan-out; anything else — an installed
+scenario (``self.impair is not None``), a chain/binomial shape, or
+k-stream striping — routes through a *spawned* legacy generator leg.
+That spawned-fallback route was previously untested against the pure
+legacy tier (``fast_paths=False``): this suite pins it bit-identical —
+same completion virtual times, same per-call delivery counts, same
+traffic counters, and the same trace records in the same order.
+
+Also here: tuned whole-app parity (a DecisionModel installed under an
+impaired scenario must give the same virtual-time results on both
+fabric tiers).
+"""
+
+import pytest
+
+from repro.apps import make_app, small_params
+from repro.harness.experiment import run_app
+from repro.network import DAS_PARAMS, Fabric, uniform_clusters
+from repro.network.message import reset_ids
+from repro.scenario import Impairment, Scenario, install
+from repro.sim import Simulator, Tracer
+from repro.tuner import DecisionModel, tune
+
+PROCESS_KINDS = {"proc.spawn", "proc.finish"}
+
+#: Every impairment model that perturbs the WAN transfer path.
+IMPAIRED = Scenario(
+    seed=11,
+    impairments=(Impairment.of("jitter", sigma=0.3),
+                 Impairment.of("loss", p=0.2, rto=0.01),
+                 Impairment.of("bw_dip", depth=0.5, period=0.02),
+                 Impairment.of("cross_traffic", load=0.5)))
+
+
+def _fanout_run(fast, scenario, shape="flat", streams=1, n_clusters=4,
+                repeats=4, size=4096):
+    """Trace ``repeats`` back-to-back fan-outs on one fabric tier."""
+    reset_ids()
+    sim = Simulator()
+    topo = uniform_clusters(n_clusters, 3)
+    tracer = Tracer()
+    fabric = Fabric(sim, topo, DAS_PARAMS, tracer=tracer,
+                    fast_paths=fast)
+    fabric.tracer.enabled = True
+    if scenario is not None:
+        install(sim, fabric, scenario)
+    times, counts = [], []
+
+    def driver():
+        for _ in range(repeats):
+            done = yield from fabric.wan_fanout_multicast(
+                0, size, shape=shape, streams=streams)
+            count = yield done
+            times.append(sim.now)
+            counts.append(count)
+
+    sim.run_process(driver())
+    records = [(r.time, r.kind, tuple(sorted(r.detail.items())))
+               for r in tracer.records if r.kind not in PROCESS_KINDS]
+    return times, counts, fabric.meter.snapshot(), records
+
+
+@pytest.mark.parametrize("shape", ["flat", "chain", "binomial"])
+@pytest.mark.parametrize("streams", [1, 4])
+def test_impaired_fanout_fast_vs_legacy(shape, streams):
+    """The spawned-fallback route under impairments is bit-identical to
+    the legacy tier for every shape x stream combination."""
+    fast = _fanout_run(True, IMPAIRED, shape=shape, streams=streams)
+    legacy = _fanout_run(False, IMPAIRED, shape=shape, streams=streams)
+    label = f"shape={shape} streams={streams}"
+    assert fast[0] == legacy[0], label  # completion virtual times
+    assert fast[1] == legacy[1], label  # delivery counts
+    assert fast[2] == legacy[2], label  # traffic meter
+    assert fast[3] == legacy[3], label  # trace records, order included
+
+
+@pytest.mark.parametrize("shape", ["chain", "binomial"])
+def test_clean_shaped_fanout_fast_vs_legacy(shape):
+    """Non-default shapes route legacy even unimpaired; still golden."""
+    fast = _fanout_run(True, None, shape=shape)
+    legacy = _fanout_run(False, None, shape=shape)
+    assert fast == legacy
+
+
+def test_clean_striped_fanout_fast_vs_legacy():
+    fast = _fanout_run(True, None, streams=4)
+    legacy = _fanout_run(False, None, streams=4)
+    assert fast == legacy
+
+
+def test_two_cluster_impaired_fanout_fast_vs_legacy():
+    """A single PVC (no fan-out concurrency) hits the same golden bar."""
+    fast = _fanout_run(True, IMPAIRED, n_clusters=2)
+    legacy = _fanout_run(False, IMPAIRED, n_clusters=2)
+    assert fast == legacy
+
+
+def _tiny_model():
+    return tune(sizes=(256, 16384), cluster_counts=(2,),
+                nodes_per_cluster=2, scenarios=(IMPAIRED,), seeds=(0,),
+                reps=1)
+
+
+def test_tuned_app_fast_vs_legacy():
+    """A tuned app run under impairments is tier-independent too."""
+    model = _tiny_model()
+    assert isinstance(model, DecisionModel)
+    app, params = make_app("asp"), small_params("asp")
+    results = [run_app(app, "original", 2, 2, params, scenario=IMPAIRED,
+                       decision=model, fast_paths=fast)
+               for fast in (True, False)]
+    fast_res, legacy_res = results
+    assert fast_res.elapsed == legacy_res.elapsed
+    assert fast_res.traffic == legacy_res.traffic

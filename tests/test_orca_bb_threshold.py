@@ -1,11 +1,14 @@
-"""The PB -> BB protocol switch exactly at ``BB_THRESHOLD``.
+"""The PB -> BB protocol switch, fixed and tuned, exactly at its boundary.
 
 Orca/FM ships small write payloads to the sequencer, which broadcasts
-them (PB); at ``size >= BB_THRESHOLD`` it instead requests just a
-sequence number with a small control message and the *sender*
-broadcasts the payload (BB).  This suite pins the boundary — one byte
-below vs exactly at the threshold — and the distinct traffic shapes of
-the two modes, on both control-plane tiers.
+them (PB); at the threshold it instead requests just a sequence number
+with a small control message and the *sender* broadcasts the payload
+(BB).  With no :class:`~repro.tuner.DecisionModel` installed the
+boundary is the hard-wired ``BB_THRESHOLD``; with a model installed it
+is that model's *fitted crossover* of the PB and BB cost lines.  This
+suite pins the boundary — one byte below vs exactly at the threshold —
+and the distinct traffic shapes of the two modes, on both control-plane
+tiers, parametrized over both decision sources.
 """
 
 import pytest
@@ -16,6 +19,7 @@ from repro.orca import ObjectSpec, Operation, OrcaRuntime
 from repro.orca.broadcast import BB_THRESHOLD, SEQ_REQUEST_BYTES
 from repro.orca.runtime import reset_req_ids
 from repro.sim import Simulator, Tracer
+from repro.tuner import ContextModel, DecisionModel, FittedLine, crossover
 
 #: 2 clusters x 2 nodes; centralized sequencer stamps on node 0 (cluster
 #: 0), the writer runs on node 2 (cluster 1) — so PB mode genuinely
@@ -24,7 +28,28 @@ SENDER = 2
 STAMP_NODE = 0
 
 
-def _run_write(size, fast):
+def _tuned(pb: FittedLine, bb: FittedLine) -> DecisionModel:
+    """A handmade model whose threshold is the fitted crossover of the
+    given lines (no shape/stripe lines: dissemination stays flat/1)."""
+    thr = crossover(pb, bb)
+    ctx = ContextModel(n_clusters=2, pb=pb, bb=bb, bb_threshold=thr)
+    return DecisionModel(contexts=((2, ctx),), source="handmade")
+
+
+#: (decision model or None, the PB->BB boundary it implies).  The fixed
+#: default is pinned exactly at ``BB_THRESHOLD``; tuned models exactly
+#: at their fitted crossover — one below, one above the fixed value.
+DECISION_CASES = [
+    pytest.param(None, BB_THRESHOLD, id="fixed-default"),
+    pytest.param(_tuned(FittedLine(0.0, 2.0 ** -18),
+                        FittedLine(1024 * 2.0 ** -19, 2.0 ** -19)),
+                 1024, id="tuned-crossover-1024"),
+    pytest.param(_tuned(FittedLine(0.0, 4e-6), FittedLine(0.065536, 2e-6)),
+                 32768, id="tuned-crossover-32768"),
+]
+
+
+def _run_write(size, fast, decision=None):
     reset_ids()
     reset_req_ids()
     sim = Simulator()
@@ -32,7 +57,8 @@ def _run_write(size, fast):
     tracer.enabled = True
     fabric = Fabric(sim, uniform_clusters(2, 2), DAS_PARAMS, tracer=tracer,
                     fast_paths=fast)
-    rts = OrcaRuntime(sim, fabric, sequencer="centralized")
+    rts = OrcaRuntime(sim, fabric, sequencer="centralized",
+                      decision=decision)
     rts.register(ObjectSpec(
         name="blob", state_factory=list,
         operations={"put": Operation(fn=lambda st, n: st.append(n) or len(st),
@@ -58,9 +84,10 @@ def _run_write(size, fast):
 
 
 @pytest.mark.parametrize("fast", [True, False], ids=["fast", "legacy"])
-def test_pb_one_byte_below_threshold(fast):
-    size = BB_THRESHOLD - 1
-    _records, by = _run_write(size, fast)
+@pytest.mark.parametrize("decision,threshold", DECISION_CASES)
+def test_pb_one_byte_below_threshold(fast, decision, threshold):
+    size = threshold - 1
+    _records, by = _run_write(size, fast, decision)
     # The seq request carries the whole operation to the stamping site.
     (req,) = by["seq.request"]
     assert req["bb"] is False
@@ -75,9 +102,10 @@ def test_pb_one_byte_below_threshold(fast):
 
 
 @pytest.mark.parametrize("fast", [True, False], ids=["fast", "legacy"])
-def test_bb_exactly_at_threshold(fast):
-    size = BB_THRESHOLD
-    _records, by = _run_write(size, fast)
+@pytest.mark.parametrize("decision,threshold", DECISION_CASES)
+def test_bb_exactly_at_threshold(fast, decision, threshold):
+    size = threshold
+    _records, by = _run_write(size, fast, decision)
     # Only a small control message travels to the sequencer...
     (req,) = by["seq.request"]
     assert req["bb"] is True
@@ -91,14 +119,28 @@ def test_bb_exactly_at_threshold(fast):
     assert all(d["src"] == SENDER for d in delivers)
 
 
-@pytest.mark.parametrize("size", [BB_THRESHOLD - 1, BB_THRESHOLD],
-                         ids=["pb", "bb"])
-def test_boundary_identical_across_tiers(size):
+@pytest.mark.parametrize("decision,threshold", DECISION_CASES)
+@pytest.mark.parametrize("side", [-1, 0], ids=["pb", "bb"])
+def test_boundary_identical_across_tiers(decision, threshold, side):
     """Fast and legacy tiers agree record-for-record on both sides of
-    the switch."""
-    fast_records, _ = _run_write(size, True)
-    legacy_records, _ = _run_write(size, False)
+    the switch, whatever decides it."""
+    size = threshold + side
+    fast_records, _ = _run_write(size, True, decision)
+    legacy_records, _ = _run_write(size, False, decision)
     assert fast_records == legacy_records
+
+
+def test_fixed_default_matches_no_model():
+    """``decision=None`` and the boundary it implies are the same
+    contract: a tuned model whose crossover equals ``BB_THRESHOLD``
+    reproduces the fixed runs record-for-record."""
+    pinned = _tuned(FittedLine(0.0, 4e-6),
+                    FittedLine(BB_THRESHOLD * 2e-6, 2e-6))
+    assert pinned.context_for(2).bb_threshold == float(BB_THRESHOLD)
+    for size in (BB_THRESHOLD - 1, BB_THRESHOLD):
+        none_records, _ = _run_write(size, True, None)
+        pinned_records, _ = _run_write(size, True, pinned)
+        assert none_records == pinned_records, size
 
 
 def test_bb_moves_fewer_payload_bytes_to_the_sequencer():

@@ -14,6 +14,8 @@ Two classes of check over the repo's markdown:
    must agree in both directions: every registered model has a
    ``### `model` `` reference section, and every such section names a
    registered model.
+4. **Tuner-primitive lockstep** — ``docs/TUNING.md`` and the tuner
+   registry (``repro.tuner.PRIMITIVES``) must agree the same two ways.
 
 Usage::
 
@@ -35,6 +37,7 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from repro.obs.schema import KINDS  # noqa: E402
 from repro.scenario import FAULTS, IMPAIRMENTS  # noqa: E402
+from repro.tuner import PRIMITIVES  # noqa: E402
 
 #: Files scanned for links and kind mentions.
 DOC_FILES = ["README.md", "ROADMAP.md", "DESIGN.md", "EXPERIMENTS.md"]
@@ -45,6 +48,10 @@ TRACING_DOC = "docs/TRACING.md"
 #: The scenario reference manual, kept in lockstep with the model
 #: registry: one ``### `model` `` section per registered model.
 SCENARIOS_DOC = "docs/SCENARIOS.md"
+
+#: The tuner reference manual, kept in lockstep with the primitive
+#: registry: one ``### `primitive` `` section per registered primitive.
+TUNING_DOC = "docs/TUNING.md"
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _KIND_PREFIXES = sorted({name.split(".", 1)[0] for name in KINDS})
@@ -122,6 +129,25 @@ def check_scenario_models(texts: dict) -> list:
     return problems
 
 
+def check_tuner_primitives(texts: dict) -> list:
+    """Both directions of the docs <-> tuner-registry lockstep."""
+    problems = []
+    text = texts.get(TUNING_DOC)
+    if text is None:
+        return [f"{TUNING_DOC}: missing"]
+    documented = set(_MODEL_HEADING.findall(text))
+    registered = set(PRIMITIVES)
+    for name in sorted(registered - documented):
+        problems.append(
+            f"{TUNING_DOC}: registered tuner primitive {name!r} has no "
+            f"### `{name}` reference section")
+    for name in sorted(documented - registered):
+        problems.append(
+            f"{TUNING_DOC}: documents primitive {name!r} which is not "
+            f"registered in repro.tuner.primitives")
+    return problems
+
+
 def main() -> int:
     texts = {}
     problems = []
@@ -133,13 +159,15 @@ def main() -> int:
         problems.append(f"{TRACING_DOC}: missing")
     problems += check_kinds(texts)
     problems += check_scenario_models(texts)
+    problems += check_tuner_primitives(texts)
     if problems:
         for problem in problems:
             print(problem)
         print(f"\n{len(problems)} documentation problem(s)")
         return 1
-    print(f"docs ok: {len(texts)} files, {len(KINDS)} trace kinds and "
-          f"{len(IMPAIRMENTS) + len(FAULTS)} scenario models in lockstep")
+    print(f"docs ok: {len(texts)} files, {len(KINDS)} trace kinds, "
+          f"{len(IMPAIRMENTS) + len(FAULTS)} scenario models and "
+          f"{len(PRIMITIVES)} tuner primitives in lockstep")
     return 0
 
 
