@@ -1,0 +1,102 @@
+"""Benchmark for the partitioned (PDES) engine: runs/s and speedup.
+
+Measures *host* wall-clock for the same simulation twice — the
+single-process oracle and the per-cluster partitioned engine with one
+forked worker per cluster — on the PDES-capable apps.  The interesting
+number is the speedup column: with as many free cores as partitions it
+should approach the partition count (the partitions really do run
+concurrently and only synchronize at WAN horizons); on a busy or small
+host the forked workers time-slice and the ratio honestly reports the
+fork/IPC overhead instead.  ``host_cores`` is recorded next to the
+numbers so a committed baseline is never read without its geometry.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_pdes_micro.py [--repeat 3]
+
+or under pytest-benchmark along with the rest of the suite.  Results
+are persisted to ``benchmarks/out/bench_pdes_micro.txt``; the ``repro
+bench`` verb turns them into the committed ``BENCH_pdes.json`` the CI
+perf-smoke job regresses against (throughput floors only — the speedup
+ratio is geometry-dependent and stays informational).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.apps import make_app, small_params
+from repro.harness.experiment import run_app
+
+
+def _run(app_name: str, n_clusters: int, per: int, pdes: str,
+         workers: int = 0):
+    app = make_app(app_name)
+    kwargs = {"pdes": pdes}
+    if workers:
+        kwargs["pdes_workers"] = workers
+    return run_app(app, app.variants[0], n_clusters, per,
+                   small_params(app_name), **kwargs)
+
+
+#: (name, app, clusters, nodes/cluster).  4 clusters is the paper's DAS
+#: configuration and the ISSUE's reference geometry.
+WORKLOADS = [
+    ("sor_4x4", "sor", 4, 4),
+    ("ra_4x2", "ra", 4, 2),
+]
+
+
+def run_suite(repeat: int = 3):
+    """Return ``(text, data)``: printable table and per-workload numbers."""
+    cores = os.cpu_count() or 1
+    header = f"{'workload':>10} {'serial/s':>10} {'pdes/s':>10} {'speedup':>9}"
+    lines = [f"pdes micro-benchmark: partitioned vs single-process "
+             f"(host cores: {cores})", header]
+    data = {"host_cores": cores}
+    for name, app_name, n_clusters, per in WORKLOADS:
+        best_serial = best_pdes = float("inf")
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            serial = _run(app_name, n_clusters, per, "off")
+            best_serial = min(best_serial, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            pdes = _run(app_name, n_clusters, per, "on", workers=n_clusters)
+            best_pdes = min(best_pdes, time.perf_counter() - t0)
+            assert serial.elapsed == pdes.elapsed, name  # parity, always
+            assert pdes.sim_stats.get("pdes_partitions") == n_clusters, name
+        speedup = best_serial / best_pdes
+        data[name] = {
+            "serial_runs_per_s": 1.0 / best_serial,
+            "pdes_runs_per_s": 1.0 / best_pdes,
+            "speedup": round(speedup, 2),
+            "workers": n_clusters,
+        }
+        lines.append(f"{name:>10} {1 / best_serial:>10.2f} "
+                     f"{1 / best_pdes:>10.2f} {speedup:>8.2f}x")
+    return "\n".join(lines), data
+
+
+def test_pdes_micro(benchmark):
+    """pytest-benchmark entry point: one pass over every workload."""
+    from conftest import emit, run_once
+
+    text, _data = run_once(benchmark, lambda: run_suite(repeat=1))
+    emit("bench_pdes_micro", text)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per workload (best is reported)")
+    args = parser.parse_args(argv)
+    text, _data = run_suite(repeat=args.repeat)
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -207,9 +207,15 @@ def cmd_app(args) -> int:
         return 2
     runner = _runner(args)
     params = bench_params(args.app)
-    res = runner.run_one(RunSpec(args.app, args.variant, args.clusters,
-                                 args.nodes, params,
-                                 decision=_load_decision(args)))
+    spec = RunSpec(args.app, args.variant, args.clusters, args.nodes, params,
+                   decision=_load_decision(args), pdes=args.pdes,
+                   pdes_workers=args.pdes_workers)
+    if args.pdes in ("on", "auto"):
+        # Execute in-process: a sweep-pool worker would claim the host
+        # cores for itself and the partition pool would resolve to one.
+        res = spec.execute()
+    else:
+        res = runner.run_one(spec)
     print(f"{args.app}/{args.variant} on {args.clusters}x{args.nodes}: "
           f"{res.elapsed:.4f} virtual seconds")
     for key, row in sorted(res.traffic.items()):
@@ -604,6 +610,13 @@ def main(argv=None) -> int:
     p_app.add_argument("--decision", default=None, metavar="PATH",
                        help="install a tuned DecisionModel (JSON from "
                             "'repro tune --out'; default: fixed strategy)")
+    p_app.add_argument("--pdes", choices=["off", "on", "auto"], default=None,
+                       help="partitioned (per-cluster) execution across "
+                            "host cores; identical results (default: "
+                            "the REPRO_PDES environment variable)")
+    p_app.add_argument("--pdes-workers", type=int, default=None, metavar="N",
+                       help="partition worker count (default: one per "
+                            "cluster, capped at host cores)")
     _add_sweep_flags(p_app)
 
     p_prof = sub.add_parser(

@@ -74,6 +74,14 @@ class Application:
         VARIANT_OPTIMIZED: "distributed",
     }
 
+    #: Whether the app is eligible for partitioned (PDES) execution:
+    #: True only for pure message-passing/RPC apps — no totally-ordered
+    #: broadcasts and no sequencer traffic, the two control flows whose
+    #: cross-cluster fan-out the per-cluster partitioning cannot cut
+    #: (see docs/ARCHITECTURE.md).  Capable apps also implement
+    #: :meth:`pdes_merge_shared`.
+    pdes_capable: bool = False
+
     def check_variant(self, variant: str) -> None:
         if variant not in self.variants:
             raise ValueError(
@@ -103,3 +111,28 @@ class Application:
               shared: Any) -> Dict[str, Any]:
         """App-specific counters to attach to the result."""
         return {}
+
+    def pdes_shared_payload(self, shared: Any, params: Any,
+                            variant: str) -> Any:
+        """Reduce per-partition ``shared`` to what ships back (pickled).
+
+        Partition workers send their ``shared`` over a pipe; service
+        objects holding runtime references (combiners, queues) cannot
+        pickle and are not needed for the merge — capable apps override
+        this to drop them.  The default ships everything.
+        """
+        return shared
+
+    def pdes_merge_shared(self, parts: List[Any], params: Any,
+                          variant: str) -> Any:
+        """Merge per-partition ``shared`` states into one whole-run state.
+
+        A PDES run calls :meth:`register` once *per partition* (each
+        worker rebuilds the full stack), and every worker's node
+        processes mutate only their partition's copy.  This hook folds
+        the copies back into the single ``shared`` that
+        :meth:`finalize`/:meth:`stats` expect.  Only apps with
+        ``pdes_capable = True`` need it.
+        """
+        raise NotImplementedError(
+            f"{self.name}: pdes_capable without pdes_merge_shared")

@@ -13,6 +13,11 @@ repo commits three small JSON files at its root:
   (fast tier, micro) plus whole-app runs/s (macro)
 * ``BENCH_collectives.json`` — collectives/s per tuner primitive (the
   shaped/striped WAN paths) plus the tuner probe loop
+* ``BENCH_pdes.json``   — whole-run throughput of the partitioned
+  engine next to the single-process oracle, plus the wall-clock
+  speedup and the ``host_cores`` geometry it was measured on (checked
+  metrics are the throughput floors; the speedup ratio is
+  geometry-dependent and stays informational)
 
 ``--suite`` accepts a suite name or ``suite:tier`` (e.g.
 ``engine:compiled``).  An *explicitly* requested suite or tier that has
@@ -48,8 +53,8 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["main", "measure_engine", "measure_fabric", "measure_orca",
-           "measure_collectives", "write_baselines", "check_baselines",
-           "parse_suite_request", "SUITES"]
+           "measure_collectives", "measure_pdes", "write_baselines",
+           "check_baselines", "parse_suite_request", "SUITES"]
 
 ROOT = pathlib.Path(__file__).resolve().parents[3]
 
@@ -57,6 +62,7 @@ ENGINE_JSON = ROOT / "BENCH_engine.json"
 FABRIC_JSON = ROOT / "BENCH_fabric.json"
 ORCA_JSON = ROOT / "BENCH_orca.json"
 COLLECTIVES_JSON = ROOT / "BENCH_collectives.json"
+PDES_JSON = ROOT / "BENCH_pdes.json"
 
 
 def _import_benchmarks() -> None:
@@ -169,6 +175,28 @@ def measure_collectives(repeat: int = 3) -> dict:
             for name, entry in data.items()}
 
 
+def measure_pdes(repeat: int = 3) -> dict:
+    """Partitioned-engine whole-run throughput vs the single-process
+    oracle (one forked worker per cluster), plus ``host_cores``."""
+    _import_benchmarks()
+    from bench_pdes_micro import run_suite
+
+    _text, data = run_suite(repeat=repeat)
+    return data
+
+
+def _flat_pdes(results: dict) -> Dict[str, float]:
+    """Throughput floors only: the speedup ratio and core count depend
+    on the measuring host's geometry, so they ride along unchecked."""
+    flat = {}
+    for name, entry in results.items():
+        if not isinstance(entry, dict):
+            continue  # host_cores and other scalars: informational
+        flat[f"{name}/serial"] = entry["serial_runs_per_s"]
+        flat[f"{name}/pdes"] = entry["pdes_runs_per_s"]
+    return flat
+
+
 def _flat_engine(results: dict) -> Dict[str, float]:
     if any(not isinstance(v, dict) for v in results.values()):
         return dict(results)  # pre-tier flat layout (old baselines)
@@ -192,6 +220,7 @@ SUITES: Dict[str, Tuple[pathlib.Path, Callable[[int], dict],
     "fabric": (FABRIC_JSON, measure_fabric, _flat_fabric),
     "orca": (ORCA_JSON, measure_orca, _flat_orca),
     "collectives": (COLLECTIVES_JSON, measure_collectives, _flat_orca),
+    "pdes": (PDES_JSON, measure_pdes, _flat_pdes),
 }
 
 #: suites whose baseline JSON has one section per tier (``suite:tier``

@@ -39,6 +39,7 @@ from ..apps.base import AppResult
 from ..network import DAS_PARAMS, NetworkParams
 from ..scenario import Scenario
 from ..sim.trace import TraceRecord, TraceSpec
+from . import jobs as jobs_mod
 
 __all__ = [
     "RunSpec",
@@ -49,8 +50,9 @@ __all__ = [
     "format_stragglers",
 ]
 
-#: Environment variable supplying the default worker count.
-JOBS_ENV = "REPRO_JOBS"
+#: Environment variable supplying the default worker count (parsed by
+#: the shared resolver in :mod:`repro.harness.jobs`).
+JOBS_ENV = jobs_mod.JOBS_ENV
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Salt mixed into every cache key.  Bump when a simulator change is
@@ -65,23 +67,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_SCHEMA = "3"
 
 
-def default_jobs() -> int:
-    """Worker count from ``REPRO_JOBS`` (default 1 — fully serial).
-
-    Values below 1 clamp to 1.  An unparsable value also falls back to
-    1, but *loudly* — a typo in ``REPRO_JOBS`` silently serializing a
-    sweep the user meant to parallelize is a debugging trap.
-    """
-    raw = os.environ.get(JOBS_ENV, "").strip()
-    if not raw:
-        return 1
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        print(f"repro: warning: ignoring unparsable {JOBS_ENV}={raw!r} "
-              "(want an integer); running serially with 1 job",
-              file=sys.stderr)
-        return 1
+#: Worker count from ``REPRO_JOBS`` — re-exported from the shared
+#: resolver (:mod:`repro.harness.jobs`), which the PDES partition pool
+#: uses too, so both layers parse the environment identically.
+default_jobs = jobs_mod.default_jobs
 
 
 def default_cache_dir() -> str:
@@ -125,6 +114,13 @@ class RunSpec:
     #: spells out every fitted coefficient, so tuned and fixed runs have
     #: distinct cache identities.
     decision: Optional[Any] = None
+    #: Partitioned (PDES) execution mode for this run
+    #: (``"off"``/``"on"``/``"auto"``; ``None`` defers to ``REPRO_PDES``)
+    #: and the worker count.  Excluded from the cache key: a PDES run
+    #: produces the identical result, so both execution modes share one
+    #: cache identity — exactly like the trace spec.
+    pdes: Optional[str] = None
+    pdes_workers: Optional[int] = None
 
     def __post_init__(self):
         if self.app not in ALL_APPS:
@@ -158,10 +154,16 @@ class RunSpec:
                          network=self.network, sequencer=self.sequencer,
                          dedicated_sequencer_node=self.dedicated_sequencer_node,
                          trace=tracer is not None, tracer=tracer,
-                         scenario=self.scenario, decision=self.decision)
+                         scenario=self.scenario, decision=self.decision,
+                         pdes=self.pdes, pdes_workers=self.pdes_workers)
         if tracer is not None:
             result.trace_records = list(tracer.records)
         return result
+
+
+def _mark_pool_worker(width: int) -> None:
+    """Pool initializer: record the sweep fan-out in the environment."""
+    os.environ[jobs_mod.ACTIVE_JOBS_ENV] = str(width)
 
 
 def _execute_spec(spec: RunSpec) -> AppResult:
@@ -377,7 +379,11 @@ class ParallelRunner:
             ctx = mp.get_context("spawn")
         n = min(self.jobs, len(work))
         size = self._batch_size(len(work), n)
-        with ctx.Pool(processes=n) as pool:
+        # Mark workers with the pool width: nested host-parallel layers
+        # (the PDES partition pool) read it and decline to multiply the
+        # fan-out (see repro.harness.jobs).
+        with ctx.Pool(processes=n, initializer=_mark_pool_worker,
+                      initargs=(n,)) as pool:
             if size <= 1:
                 # chunksize=1: grid points are coarse and unevenly sized.
                 return pool.map(_execute_timed, work, chunksize=1)

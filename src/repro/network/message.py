@@ -2,17 +2,31 @@
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
-__all__ = ["Message", "reset_ids"]
+__all__ = ["Message", "reset_ids", "alloc_msg_id", "MSG_ID_STRIDE"]
 
-_ids = itertools.count()
+#: Message ids are allocated *per source node*: ``src * STRIDE + seq``.
+#: Ids stay unique and deterministic like the old global counter, but
+#: they no longer depend on how sends from *different* nodes interleave
+#: — which is exactly what a partitioned (PDES) run cannot reproduce.
+#: Each partition allocates the same per-site sequences the
+#: single-process oracle does, so merged traces join on identical ids.
+MSG_ID_STRIDE = 1_000_000
+
+_site_seq: Dict[int, int] = {}
+
+
+def alloc_msg_id(src: int) -> int:
+    """Next message id for source node ``src`` (deterministic per site)."""
+    seq = _site_seq.get(src, 0)
+    _site_seq[src] = seq + 1
+    return src * MSG_ID_STRIDE + seq
 
 
 def reset_ids() -> None:
-    """Restart message-id allocation from 0.
+    """Restart message-id allocation (every site back to sequence 0).
 
     Called by the experiment runner at the start of every run so trace
     records carry run-local ids: a traced run produces the same records
@@ -20,8 +34,7 @@ def reset_ids() -> None:
     worker it landed on).  Ids only label trace records and join causal
     chains within one run — nothing matches them across runs.
     """
-    global _ids
-    _ids = itertools.count()
+    _site_seq.clear()
 
 
 @dataclass
@@ -40,10 +53,12 @@ class Message:
     payload: Any = None
     port: str = "default"
     kind: str = "msg"
-    msg_id: int = field(default_factory=lambda: next(_ids))
+    msg_id: int = -1
     send_time: float = 0.0
     recv_time: float = 0.0
 
     def __post_init__(self):
         if self.size < 0:
             raise ValueError(f"negative message size: {self.size}")
+        if self.msg_id < 0:
+            self.msg_id = alloc_msg_id(self.src)

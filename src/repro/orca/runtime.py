@@ -17,7 +17,6 @@ simulation process.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
@@ -34,16 +33,26 @@ RPC_PORT = "orca.rpc"
 #: CPU cost of evaluating a guard that fails.
 GUARD_EVAL_COST = 1e-6
 
-_req_ids = itertools.count()
+#: Request ids are per *caller node* (``caller * STRIDE + seq``), like
+#: message ids — deterministic per site, so a partitioned (PDES) run
+#: allocates exactly the ids the single-process oracle does.
+REQ_ID_STRIDE = 1_000_000
+
+_req_site_seq: Dict[int, int] = {}
+
+
+def _alloc_req_id(caller: int) -> int:
+    seq = _req_site_seq.get(caller, 0)
+    _req_site_seq[caller] = seq + 1
+    return caller * REQ_ID_STRIDE + seq
 
 
 def reset_req_ids() -> None:
-    """Restart RPC request-id allocation from 0 (see
+    """Restart RPC request-id allocation (see
     :func:`repro.network.message.reset_ids` — same run-local-trace
     rationale; request ids only pair an RPC with its reply port within
     one run)."""
-    global _req_ids
-    _req_ids = itertools.count()
+    _req_site_seq.clear()
 
 
 @dataclass
@@ -311,7 +320,7 @@ class OrcaRuntime:
 
     def _invoke_rpc(self, caller: int, spec: ObjectSpec, op: Operation,
                     op_name: str, args: tuple) -> Generator:
-        req_id = next(_req_ids)
+        req_id = _alloc_req_id(caller)
         req = _RpcRequest(
             req_id=req_id, obj_name=spec.name, op_name=op_name, args=args,
             caller=caller, result_port=f"orca.rpcret.{req_id}",

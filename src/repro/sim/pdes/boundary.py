@@ -1,0 +1,267 @@
+"""The partition boundary: the fabric's window onto the other workers.
+
+One :class:`PartitionBoundary` lives in each partition worker, attached
+to its fabric as ``fabric.pdes``.  The fabric calls four methods:
+
+* :meth:`owns` — routing test: does this partition simulate ``cluster``?
+* :meth:`register` — source side, before the WAN legs launch: remember
+  the sender's delivery event when the send is synchronous.
+* :meth:`export` — source side, at PVC release: the arrival instant at
+  the remote gateway is now known (release + propagation), a full
+  lookahead before it happens.  The message ships to the owning
+  partition through the coordinator.
+* :meth:`export_ack` — destination side, at deposit: every delivered
+  cross-partition message acks its deposit time back to the source
+  partition, which fires the sender's delivery event there (or drops
+  the ack when nobody waits).
+
+Synchronous sends are where conservatism gets subtle: the sender blocks
+until a *remote* deposit whose time depends on remote queueing, so the
+source partition must not outrun it.  An armed (awaited) export plants
+a *floor* at its arrival time: the coordinator caps the partition at
+``max(arrival, N_dst)`` until the ack lands, and a probe scheduled at
+the floor raises :class:`EpochBreak` out of ``Simulator.run`` if the
+cap would otherwise sail past it (floors created mid-epoch).  The
+worker catches it, shortens the epoch, and re-enters the run loop.
+
+Every export — armed or not — additionally plants an *echo bound* at
+``arrival + lookahead`` for the rest of the epoch.  The epoch's cap
+was computed before the export existed; the message can wake an idle
+peer whose earliest response lands strictly after ``arrival +
+lookahead`` (the reply still crosses the WAN, and the remote deposit
+is strictly later than the arrival).  Without the bound, a partition
+running under a loose cap could sail past its own traffic's echoes.
+Next round the coordinator takes over seamlessly: the routed message
+lowers the destination's effective frontier to ``arrival``, capping
+this partition at the same ``arrival + lookahead``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..engine import fire
+
+__all__ = ["EpochBreak", "PartitionBoundary"]
+
+
+class EpochBreak(Exception):
+    """Raised inside ``Simulator.run`` when an ack floor comes due."""
+
+
+def _inject_key(item) -> tuple:
+    """Serial-engine tie order for same-instant routed deliveries.
+
+    The serial engine schedules same-instant WAN completions in the
+    order the sends entered the pipeline — node-index order for sends
+    issued at one instant — so held arrivals enter the heap sorted by
+    (time, source node, id) regardless of which epoch routed them.
+    """
+    return (item[3], item[2].src, item[2].msg_id)
+
+
+class PartitionBoundary:
+    """Cross-partition traffic staging for one PDES worker."""
+
+    def __init__(self, sim, topo, cluster_partition: Sequence[int],
+                 part_id: int, lookahead: float = 0.0):
+        self.sim = sim
+        self.topo = topo
+        self.part = tuple(cluster_partition)   # cluster -> partition index
+        self.part_id = part_id
+        self.lookahead = lookahead
+        self.fabric = None                     # attached by the worker
+        self.outbox: List[tuple] = []          # drained every epoch
+        # msg_id -> (msg, done event): synchronous sends awaiting acks.
+        self._armed: Dict[int, Tuple[Any, Any]] = {}
+        # msg_id -> (arrival, owing partition): armed *and* exported.
+        self._floors: Dict[int, Tuple[float, int]] = {}
+        # Armed exports the coordinator has not heard about yet: these
+        # bound the *current* epoch only.  Once reported, the
+        # coordinator's ``max(arrival, N_dst)`` cap term takes over —
+        # it tracks the destination's live frontier, so the partition
+        # may then run up to (but never past) the eventual deposit.
+        self._fresh: set = set()
+        # Earliest possible echo of this epoch's exports: min over fresh
+        # exports of (arrival + lookahead).  Bounds the current epoch
+        # only; cleared at drain (the routed message then lowers the
+        # destination's frontier, and the coordinator's cap algebra
+        # enforces the same bound).
+        self._echo: Optional[float] = None
+        # msg_id -> source partition, for acking injected messages back.
+        self._ack_to: Dict[int, int] = {}
+        # Routed-in message deliveries not yet proven dispatchable.
+        self._hold: List[tuple] = []
+        # Counters (merged into the run's sim_stats by the coordinator).
+        self.exported = 0
+        self.injected = 0
+        self.acks_out = 0
+        self.acks_in = 0
+        self.epoch_breaks = 0
+
+    # ------------------------------------------------- fabric-facing API
+
+    def owns(self, cluster: int) -> bool:
+        return self.part[cluster] == self.part_id
+
+    def register(self, msg, done, wait: bool) -> None:
+        """Source side, before the WAN legs: arm synchronous sends."""
+        if wait:
+            self._armed[msg.msg_id] = (msg, done)
+
+    def export(self, msg, arrival: float, path: str) -> None:
+        """Source side, at PVC release: ship the message at ``arrival``."""
+        dst_part = self.part[self.topo.cluster_of(msg.dst)]
+        self.outbox.append(("msg", dst_part, msg, arrival, path))
+        self.exported += 1
+        if msg.msg_id in self._armed:
+            self._floors[msg.msg_id] = (arrival, dst_part)
+            self._fresh.add(msg.msg_id)
+            self.sim.call_at(arrival, self._probe)
+        echo = arrival + self.lookahead
+        if self._echo is None or echo < self._echo:
+            self._echo = echo
+            self.sim.call_at(echo, self._probe)
+
+    def export_ack(self, msg_id: int, t_deposit: float) -> None:
+        """Destination side, at deposit: ack back to the source partition."""
+        src_part = self._ack_to.pop(msg_id)
+        self.outbox.append(("ack", src_part, msg_id, t_deposit))
+        self.acks_out += 1
+
+    # ------------------------------------------------- worker-facing API
+
+    def receive(self, items) -> None:
+        """Take one epoch's routed items: acks apply now, messages hold.
+
+        Message deliveries are *not* scheduled immediately: same-instant
+        arrivals from different partitions can reach this worker in
+        different epochs, and heap insertion order would then leak the
+        epoch schedule into downstream FIFO stages (the destination
+        gateway serves same-instant arrivals in insertion order).  They
+        wait in a holding pen until :meth:`flush` proves every arrival
+        at their instant is present, then enter the heap in the serial
+        engine's tie order.
+        """
+        for item in items:
+            if item[0] == "msg":
+                self._hold.append(item)
+            else:
+                _kind, _dst, msg_id, t_deposit = item
+                self.acks_in += 1
+                entry = self._armed.pop(msg_id, None)
+                self._floors.pop(msg_id, None)
+                self._fresh.discard(msg_id)
+                if entry is None:
+                    # Asynchronous send: the sender never looked back.
+                    continue
+                msg, done = entry
+                msg.recv_time = t_deposit
+                self.sim.call_at(
+                    t_deposit, lambda d=done, m=msg: self._complete(d, m))
+
+    def flush(self, cap, gmin) -> None:
+        """Schedule held arrivals that this epoch may legally dispatch.
+
+        An arrival at ``T`` is released once ``T < cap`` or ``T ==
+        gmin`` (the global minimum): either condition implies every
+        partition's frontier plus the lookahead clears ``T``, so any
+        other message arriving at the same instant has already been
+        exported and routed here — the whole instant is in hand and can
+        be ordered the way the serial engine would have (see
+        :func:`_inject_key`).  ``cap=None`` (every other partition dry)
+        releases everything.
+
+        ``call_at`` refuses past times, so each schedule *is* the
+        conservative guarantee: a cross-partition message can never be
+        delivered earlier than this partition has already simulated.
+        If the cap algebra were ever wrong, this raises instead of
+        silently corrupting the timeline.
+        """
+        if not self._hold:
+            return
+        if cap is None:
+            due, self._hold = self._hold, []
+        else:
+            due = [it for it in self._hold
+                   if it[3] < cap or it[3] == gmin]
+            if not due:
+                return
+            self._hold = [it for it in self._hold
+                          if not (it[3] < cap or it[3] == gmin)]
+        due.sort(key=_inject_key)
+        for _kind, _dst, msg, arrival, path in due:
+            self._ack_to[msg.msg_id] = self.part[self.topo.cluster_of(msg.src)]
+            self.injected += 1
+            self.sim.call_at(
+                arrival, lambda m=msg, p=path: self.fabric.pdes_arrive(m, p))
+
+    def held_min(self):
+        """Earliest held arrival — part of this partition's frontier."""
+        if not self._hold:
+            return None
+        return min(item[3] for item in self._hold)
+
+    def drain_outbox(self) -> List[tuple]:
+        """End of epoch: hand over exports, promote fresh floors.
+
+        Clearing ``_fresh`` (and the echo bound) is what lets the
+        partition move again next epoch — the floors it reported become
+        the coordinator's responsibility (the ack term in
+        ``compute_caps``), and the routed messages lower their
+        destinations' effective frontiers.
+        """
+        self._fresh.clear()
+        self._echo = None
+        out, self.outbox = self.outbox, []
+        return out
+
+    def pending(self) -> List[Tuple[int, float]]:
+        """Armed, exported, un-acked sends: ``(owing partition, floor)``."""
+        return [(owing, arrival)
+                for arrival, owing in self._floors.values()]
+
+    def floor(self) -> Optional[float]:
+        """Earliest bound the coordinator has not seen — the current
+        epoch may not run past it (armed-export floors and the echo
+        bound of any fresh export)."""
+        if not self._fresh:
+            return self._echo
+        low = min(self._floors[mid][0] for mid in self._fresh)
+        if self._echo is not None and self._echo < low:
+            return self._echo
+        return low
+
+    # ------------------------------------------------------------ guts
+
+    def _probe(self) -> None:
+        """Scheduled at each floor/echo bound: break the epoch when due.
+
+        Bounds planted *mid-epoch* (an export inside a running window)
+        can undercut the epoch's cap; the probe turns that into an
+        :class:`EpochBreak` exactly at the bound, before any event past
+        it dispatches.  Probes whose floor was acked away (or whose
+        echo bound was drained) in the meantime fall through
+        harmlessly.
+        """
+        now = self.sim.now
+        if self._echo is not None and self._echo <= now:
+            self.epoch_breaks += 1
+            raise EpochBreak
+        for mid in self._fresh:
+            if self._floors[mid][0] <= now:
+                self.epoch_breaks += 1
+                raise EpochBreak
+
+    def _complete(self, done, msg) -> None:
+        """Fire the sender's delivery event at the acked deposit time.
+
+        Same inline-when-quiet dispatch as the fabric's
+        ``_deposit_complete`` — the sender resumes at the exact depth
+        the single-process engine would have used.
+        """
+        sim = self.sim
+        if sim.idle_at_now():
+            fire(done, msg)
+        else:
+            done.succeed(msg)

@@ -1,0 +1,549 @@
+"""The conservative PDES coordinator: fork, synchronize, merge.
+
+``run_app_pdes`` is the partitioned twin of
+:func:`repro.harness.experiment.run_app`.  It splits the topology's
+clusters into contiguous blocks (:mod:`.plan`), forks one worker per
+block, and drives them through *epochs*: windows of virtual time each
+partition may simulate without hearing from the others.
+
+The window algebra (:func:`compute_caps`) is the whole correctness
+story.  With ``N_j`` the earliest event time partition ``j`` could
+still dispatch (its next heap entry, or anything routed to it this
+epoch) and ``L`` the WAN lookahead:
+
+    cap_i = min( min_{j != i} N_j + L,
+                 min over i's un-acked floors (p, A) of max(A, N_p) )
+
+The first term is classic conservative synchronization — nothing
+another partition does before ``N_j`` can reach ``i`` before
+``N_j + L``.  The second handles synchronous sends: until the
+destination ``p`` acks the deposit of an armed message arriving at
+``A``, partition ``i`` may not outrun ``max(A, N_p)``; the deposit
+happens strictly after the arrival, and ``N_p`` tracks the
+destination's frontier, so the sender's delivery event is always
+planted in ``i``'s future.  Every term is ``>= min_j N_j``, so the
+globally-earliest event is always dispatchable: the protocol cannot
+deadlock.
+
+Workers run each epoch *inclusively* to their cap (the engine's
+``run(until=...)`` dispatches events at the horizon), report their new
+frontier plus everything they exported, and the coordinator routes
+messages/acks into the next epoch's injections.  A worker's own
+:class:`~.boundary.PartitionBoundary` refuses (`call_at` raises) any
+injection before its clock — the conservative guarantee is asserted on
+every delivery, not assumed.
+
+Determinism: partitions allocate the same per-site message/request ids
+as the single-process run, impairment randomness is drawn from
+per-(model, directed pair) substreams, and every cross-partition
+delivery replays the destination half of the serial fabric code at the
+exported instant — so answers, finish times and trace *contents* are
+bit-identical to the oracle; only same-instant interleavings across
+independent partitions (invisible in any record field) may differ.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import pickle
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..engine import SimulationError, Simulator
+from ..trace import TraceSpec
+from .boundary import EpochBreak, PartitionBoundary
+from .plan import cluster_partition_map, partition_clusters, wan_lookahead
+
+__all__ = ["WorkerSpec", "compute_caps", "run_app_pdes", "run_epoch"]
+
+INF = float("inf")
+
+
+# --------------------------------------------------------------- protocol
+#
+# Parent -> worker:  ("epoch", cap_or_None, gmin, [items])
+#                    then ("finish",)
+# Worker -> parent:  ("ready", next_time)
+#                    ("report", clock, next_time, outbox, pending)
+#                    ("final", payload_dict)
+#                    ("error", formatted_traceback)    (any state, fatal)
+#
+# Routed items (built by PartitionBoundary.export / export_ack; index 3
+# is always the item's virtual time, which compute_caps relies on):
+#   ("msg", dst_partition, Message, arrival, path)
+#   ("ack", dst_partition, msg_id, t_deposit)
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a forked partition worker needs to rebuild its stack."""
+
+    part_id: int
+    n_partitions: int
+    clusters: Tuple[int, ...]
+    cluster_partition: Tuple[int, ...]
+    app: str
+    variant: str
+    params: Any
+    network: Any
+    sequencer: str
+    dedicated_sequencer_node: bool
+    topology: Any                      # final Topology (scenario applied)
+    fast_paths: bool
+    runtime_fast_paths: Optional[bool]
+    scenario: Any = None
+    trace: Optional[TraceSpec] = None
+    lookahead: float = 0.0
+
+
+def compute_caps(neff: Sequence[float], reals: Sequence[float],
+                 pendings: Sequence[Sequence[Tuple[int, float]]],
+                 lookahead: float) -> List[float]:
+    """Per-partition epoch caps from effective frontiers and floors.
+
+    ``reals[i]`` is the earliest virtual time partition ``i`` could
+    still dispatch — its next heap entry, held arrivals, anything
+    routed to it this round (``inf`` when dry).  ``neff[i]`` is
+    ``reals[i]`` further lowered by partition ``i``'s own un-acked
+    floors: a partition awaiting an ack wakes at the deposit (>= its
+    floor) and can emit with one lookahead of margin, so for capping
+    *others* it is only as far along as its earliest floor.
+    ``pendings[i]`` lists partition ``i``'s un-acked synchronous sends
+    as ``(owing partition, arrival floor)``; the deposit the ack
+    reports is produced by *real* events at the owing partition, so
+    that term uses ``reals`` — using ``neff`` there would let two
+    mutually-waiting partitions pin each other's caps below the very
+    chains that produce the deposits.  Pure, so the safety properties
+    are directly property-testable.
+    """
+    width = len(neff)
+    caps = []
+    for i in range(width):
+        others = min((neff[j] for j in range(width) if j != i), default=INF)
+        cap = others + lookahead
+        for owing, floor in pendings[i]:
+            cap = min(cap, max(floor, reals[owing]))
+        caps.append(cap)
+    return caps
+
+
+def run_epoch(sim, boundary: PartitionBoundary, cap: Optional[float],
+              gmin: Optional[float]) -> None:
+    """Run one epoch: strictly below ``cap``, never past an ack floor.
+
+    The cap is *exclusive* — events exactly at it wait for a later
+    epoch — with two exceptions that keep the protocol live and exact:
+
+    * ``gmin``, the globally-earliest event time, always dispatches
+      (nothing in flight can precede or tie it un-routed, and some
+      partition must move every epoch);
+    * a fresh ack floor dispatches inclusively (events *at* an armed
+      export's arrival are source-local; the remote deposit is
+      strictly later).
+
+    Exclusivity is what makes same-instant ties exact: an instant only
+    dispatches once every partition's frontier plus the lookahead
+    clears it, by which time all cross-partition arrivals at that
+    instant are held at the boundary and enter the heap in serial
+    order (see ``PartitionBoundary.flush``).
+
+    Floors planted mid-run surface as :class:`EpochBreak` from the
+    boundary's probes; each re-entry shortens the window to the
+    earliest live floor.  ``cap=None`` means unbounded (every other
+    partition is dry) — the worker drains, pausing only at floors.
+    """
+    while True:
+        floor = boundary.floor()
+        if cap is None:
+            bound = floor
+        elif floor is None:
+            bound = cap
+        else:
+            bound = min(cap, floor)
+        if bound is None:
+            target = None
+        else:
+            if gmin is not None and bound < gmin:
+                # Floors folded into the cap algebra can push a cap
+                # below the globally-earliest real event; events at
+                # gmin itself are always safe (nothing anywhere — wake
+                # chains included — can produce an earlier one), and
+                # the gmin owner must move for the protocol to be live.
+                bound = gmin
+            if bound < sim.now:
+                # A slower partition dragged the cap below our clock:
+                # the previous epoch already covered this window.
+                return
+            inclusive = bound == gmin or bound == floor
+            target = bound if inclusive \
+                else math.nextafter(bound, -math.inf)
+            if target < sim.now:
+                return
+        try:
+            sim.run(until=target)
+        except EpochBreak:
+            continue
+        return
+
+
+# ----------------------------------------------------------------- worker
+
+def _worker_main(conn, spec: WorkerSpec) -> None:
+    try:
+        _worker_run(conn, spec)
+    except BaseException as exc:
+        # Ship the exception object itself when it pickles: the
+        # coordinator then re-raises the app's real error (the serial
+        # engine lets a ValueError out of ``register`` surface as a
+        # ValueError, and partitioning must not change that contract).
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = None
+        try:
+            conn.send(("error", traceback.format_exc(), exc))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _worker_run(conn, spec: WorkerSpec) -> None:
+    # Deferred imports: the worker is forked, so these are usually
+    # already loaded; top-level imports here would cycle (apps -> orca
+    # -> sim -> pdes).
+    from ...apps import make_app
+    from ...network import Fabric
+    from ...network.message import reset_ids
+    from ...orca import OrcaRuntime
+    from ...orca.runtime import reset_req_ids
+
+    reset_ids()
+    reset_req_ids()
+    app = make_app(spec.app)
+    sim = Simulator()
+    topo = spec.topology
+    tracer = spec.trace.build() if spec.trace is not None else None
+    fabric = Fabric(sim, topo, spec.network, tracer=tracer,
+                    fast_paths=spec.fast_paths)
+    if tracer is not None:
+        fabric.tracer.enabled = True
+        sim.obs = fabric.tracer
+    if spec.scenario is not None:
+        from ...scenario import install
+        install(sim, fabric, spec.scenario)
+    boundary = PartitionBoundary(sim, topo, spec.cluster_partition,
+                                 spec.part_id, lookahead=spec.lookahead)
+    boundary.fabric = fabric
+    fabric.pdes = boundary
+    rts = OrcaRuntime(sim, fabric, sequencer=spec.sequencer,
+                      dedicated_sequencer_node=spec.dedicated_sequencer_node,
+                      fast_paths=spec.runtime_fast_paths)
+
+    shared = app.register(rts, spec.params, spec.variant)
+    local_nodes = [n for c in spec.clusters for n in topo.nodes_in(c)]
+    finished_at: Dict[int, float] = {}
+
+    def timed(nid):
+        value = yield from app.process(rts.context(nid), spec.params,
+                                       spec.variant, shared)
+        finished_at[nid] = sim.now
+        return value
+
+    workers = [sim.spawn(timed(nid), name=f"{app.name}{nid}")
+               for nid in local_nodes]
+
+    conn.send(("ready", sim.next_time()))
+    blocked = 0.0
+    while True:
+        t0 = time.perf_counter()
+        cmd = conn.recv()
+        blocked += time.perf_counter() - t0
+        if cmd[0] == "finish":
+            break
+        _tag, cap, gmin, incoming = cmd
+        boundary.receive(incoming)
+        boundary.flush(cap, gmin)
+        run_epoch(sim, boundary, cap, gmin)
+        frontier = sim.next_time()
+        held = boundary.held_min()
+        if frontier is None or (held is not None and held < frontier):
+            frontier = held
+        conn.send(("report", sim.now, frontier,
+                   boundary.drain_outbox(), boundary.pending()))
+
+    # Same post-run checks as run_app, reported instead of raised: the
+    # coordinator re-raises with the partition attached.
+    deadlocked = [w.name for w in workers if not w.triggered]
+    failure = None
+    for w in workers:
+        if w.triggered and not w._ok:
+            failure = "".join(traceback.format_exception(
+                type(w._value), w._value, w._value.__traceback__))
+            break
+    conn.send(("final", {
+        "part": spec.part_id,
+        "clock": sim.now,
+        "finished_at": finished_at,
+        "shared": app.pdes_shared_payload(shared, spec.params, spec.variant),
+        "traffic": rts.meter.snapshot(),
+        "sim_stats": sim.stats(),
+        "records": list(tracer.records) if tracer is not None else None,
+        "dropped": tracer.dropped if tracer is not None else 0,
+        "blocked_s": blocked,
+        "deadlocked": deadlocked,
+        "failure": failure,
+        "counters": {
+            "exported": boundary.exported,
+            "injected": boundary.injected,
+            "acks_out": boundary.acks_out,
+            "acks_in": boundary.acks_in,
+            "epoch_breaks": boundary.epoch_breaks,
+        },
+    }))
+
+
+# ------------------------------------------------------------ coordinator
+
+class _WorkerPool:
+    """Forked partition workers with a pipe each; kills on error paths."""
+
+    def __init__(self, specs: Sequence[WorkerSpec]):
+        ctx = mp.get_context("fork")
+        self.conns = []
+        self.procs = []
+        for spec in specs:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main, args=(child, spec),
+                               daemon=True)
+            proc.start()
+            child.close()
+            self.conns.append(parent)
+            self.procs.append(proc)
+
+    def recv(self, i: int, want: str):
+        try:
+            msg = self.conns[i].recv()
+        except EOFError:
+            raise SimulationError(
+                f"pdes: partition {i} worker died without reporting")
+        if msg[0] == "error":
+            exc = msg[2] if len(msg) > 2 else None
+            if exc is not None:
+                raise exc  # the app's own error, same type as serial
+            raise SimulationError(
+                f"pdes: partition {i} worker failed:\n{msg[1]}")
+        if msg[0] != want:
+            raise SimulationError(
+                f"pdes: partition {i} protocol error: "
+                f"expected {want!r}, got {msg[0]!r}")
+        return msg
+
+    def close(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5)
+
+
+def run_app_pdes(app, variant: str, n_clusters: int, nodes_per_cluster: int,
+                 params: Any, *, network, sequencer: Optional[str],
+                 dedicated_sequencer_node: bool, topo, trace: bool,
+                 tracer, fast_paths: bool,
+                 runtime_fast_paths: Optional[bool], scenario,
+                 n_workers: int):
+    """Partitioned ``run_app``: same result, all host cores.
+
+    ``topo`` is the final topology (scenario layout applied); callers
+    resolve eligibility and worker count first (see
+    ``experiment.run_app``).  Returns the same :class:`AppResult` the
+    single-process path would, with PDES counters added to
+    ``sim_stats``.
+    """
+    from ...apps.base import AppResult
+    from ...network import Fabric
+    from ...network.message import reset_ids
+    from ...orca import OrcaRuntime
+    from ...orca.runtime import reset_req_ids
+
+    blocks = partition_clusters(topo.n_clusters, n_workers)
+    width = len(blocks)
+    part_map = cluster_partition_map(blocks)
+    lookahead = wan_lookahead(network, scenario)
+    seq_kind = sequencer if sequencer is not None \
+        else app.sequencer_for(variant)
+
+    trace_spec = None
+    if trace:
+        if tracer is not None:
+            trace_spec = TraceSpec(
+                kinds=tuple(sorted(tracer.kinds))
+                if tracer.kinds is not None else None,
+                ring=tracer.ring,
+                sample=tuple(sorted(tracer.sample.items()))
+                if tracer.sample else ())
+        else:
+            trace_spec = TraceSpec()
+
+    specs = [WorkerSpec(
+        part_id=pi, n_partitions=width, clusters=block,
+        cluster_partition=part_map, app=app.name, variant=variant,
+        params=params, network=network, sequencer=seq_kind,
+        dedicated_sequencer_node=dedicated_sequencer_node, topology=topo,
+        fast_paths=fast_paths, runtime_fast_paths=runtime_fast_paths,
+        scenario=scenario, trace=trace_spec, lookahead=lookahead)
+        for pi, block in enumerate(blocks)]
+
+    pool = _WorkerPool(specs)
+    epochs = 0
+    cross_msgs = 0
+    cross_acks = 0
+    try:
+        clocks = [0.0] * width
+        nexts: List[Optional[float]] = []
+        pendings: List[List[Tuple[int, float]]] = [[] for _ in range(width)]
+        inboxes: List[List[tuple]] = [[] for _ in range(width)]
+        for i in range(width):
+            _tag, nt = pool.recv(i, "ready")
+            nexts.append(nt)
+
+        stall = 0
+        while True:
+            neff = []
+            reals = []
+            for i in range(width):
+                v = nexts[i] if nexts[i] is not None else INF
+                for item in inboxes[i]:
+                    v = min(v, item[3])
+                reals.append(v)
+                # A partition awaiting an ack is not inert: the deposit
+                # wakes it at >= its floor, from where it can emit with
+                # arrival >= floor + lookahead — so for capping *others*
+                # its effective frontier includes its own floors.  The
+                # floors stay out of reals/gmin: inclusive dispatch at
+                # gmin needs an actual event at that instant, and
+                # wake-generated events are always >= the real minimum
+                # (the deposit is produced by real chain events).
+                for _owing, floor in pendings[i]:
+                    v = min(v, floor)
+                neff.append(v)
+            gmin = min(reals)
+            if gmin == INF:
+                if any(pendings):
+                    raise SimulationError(
+                        "pdes: un-acked synchronous sends with no "
+                        "schedulable events anywhere (protocol stall)")
+                break
+            caps = compute_caps(neff, reals, pendings, lookahead)
+            epochs += 1
+            for i in range(width):
+                cap = None if caps[i] == INF else caps[i]
+                pool.conns[i].send(("epoch", cap, gmin, inboxes[i]))
+                inboxes[i] = []
+            routed = 0
+            moved = False
+            for i in range(width):
+                _tag, clock, nt, outbox, pending = pool.recv(i, "report")
+                moved = moved or clock != clocks[i] or nt != nexts[i] \
+                    or pending != pendings[i]
+                clocks[i] = clock
+                nexts[i] = nt
+                pendings[i] = pending
+                for item in outbox:
+                    inboxes[item[1]].append(item)
+                    routed += 1
+                    if item[0] == "msg":
+                        cross_msgs += 1
+                    else:
+                        cross_acks += 1
+            # Belt-and-braces against protocol bugs: some partition must
+            # advance or transfer something every epoch (the min-N one
+            # always can).  Several idle epochs in a row mean the cap
+            # algebra broke; fail loudly rather than spin.
+            stall = 0 if (routed or moved) else stall + 1
+            if stall > 3:
+                raise SimulationError(
+                    f"pdes: no progress for {stall} epochs "
+                    f"(clocks={clocks}, frontiers={nexts}, "
+                    f"pending={pendings})")
+
+        finals = [None] * width
+        for i in range(width):
+            pool.conns[i].send(("finish",))
+            finals[i] = pool.recv(i, "final")[1]
+    finally:
+        pool.close()
+
+    for payload in finals:
+        if payload["failure"]:
+            raise SimulationError(
+                f"pdes: partition {payload['part']} application error:\n"
+                f"{payload['failure']}")
+    deadlocked = [name for p in finals for name in p["deadlocked"]]
+    if deadlocked:
+        raise SimulationError(
+            f"{app.name}/{variant} on {n_clusters}x{nodes_per_cluster}: "
+            f"workers {deadlocked} never finished "
+            f"(deadlock; partition clocks "
+            f"{[p['clock'] for p in finals]})")
+
+    # ---- merge: finish times, shared state, meters, stats, traces ----
+    finished_at = [0.0] * topo.n_nodes
+    for payload in finals:
+        for nid, t in payload["finished_at"].items():
+            finished_at[nid] = t
+    elapsed = max(finished_at)
+
+    merged_shared = app.pdes_merge_shared(
+        [p["shared"] for p in finals], params, variant)
+
+    # Fresh, never-run stack so finalize/stats see the usual interfaces
+    # (topology, runtime) against the merged shared state.
+    reset_ids()
+    reset_req_ids()
+    fsim = Simulator()
+    ffabric = Fabric(fsim, topo, network, fast_paths=fast_paths)
+    frts = OrcaRuntime(fsim, ffabric, sequencer=seq_kind,
+                       dedicated_sequencer_node=dedicated_sequencer_node,
+                       fast_paths=runtime_fast_paths)
+    answer = app.finalize(frts, params, variant, merged_shared)
+    stats = app.stats(frts, params, variant, merged_shared)
+
+    traffic: Dict[str, Dict[str, int]] = {}
+    for payload in finals:
+        for bucket, counters in payload["traffic"].items():
+            slot = traffic.setdefault(bucket, {})
+            for key, val in counters.items():
+                slot[key] = slot.get(key, 0) + val
+
+    sim_stats: Dict[str, Any] = {}
+    for payload in finals:
+        for key, val in payload["sim_stats"].items():
+            sim_stats[key] = sim_stats.get(key, 0) + val
+    sim_stats["pdes_partitions"] = width
+    sim_stats["pdes_epochs"] = epochs
+    sim_stats["pdes_cross_messages"] = cross_msgs
+    sim_stats["pdes_acks"] = cross_acks
+    sim_stats["pdes_epoch_breaks"] = sum(
+        p["counters"]["epoch_breaks"] for p in finals)
+    sim_stats["pdes_blocked_s"] = sum(p["blocked_s"] for p in finals)
+
+    if trace and tracer is not None:
+        merged = [r for p in finals for r in (p["records"] or [])]
+        merged.sort(key=lambda r: r.time)   # stable: partition order ties
+        tracer.records.extend(merged)
+        tracer.dropped += sum(p["dropped"] for p in finals)
+
+    return AppResult(
+        app=app.name, variant=variant, n_clusters=n_clusters,
+        nodes_per_cluster=nodes_per_cluster, elapsed=elapsed, answer=answer,
+        stats=stats, traffic=traffic, utilization=None,
+        sim_stats=sim_stats)

@@ -1,0 +1,106 @@
+"""Partition planning and eligibility for conservative PDES runs.
+
+The cut follows the paper's own structure: the simulated machine is a
+collection of clusters joined by a WAN, and *every* interaction between
+clusters crosses a WAN PVC with a fixed propagation latency.  That
+latency is the conservative lookahead — a partition that has run to
+virtual time ``t`` cannot affect another partition before ``t + L`` —
+so partitioning *per cluster* (or per contiguous block of clusters)
+puts the whole synchronization cost on the slowest link in the model,
+exactly where the paper puts the application's communication cost.
+
+Eligibility is decided statically, before any process forks.  The
+rules are conservative: anything whose cross-cluster control flow the
+cut cannot reproduce (totally-ordered broadcasts, striped transfers,
+faults that seize both directions of a PVC) keeps the run on the
+single-process engine, which remains the oracle for every feature.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "partition_clusters",
+    "cluster_partition_map",
+    "pdes_ineligible_reason",
+    "wan_lookahead",
+]
+
+
+def partition_clusters(n_clusters: int, n_partitions: int
+                       ) -> List[Tuple[int, ...]]:
+    """Split ``n_clusters`` into contiguous, balanced blocks.
+
+    Contiguity matters for the nearest-neighbour apps (SOR exchanges
+    border rows between adjacent node ranges): adjacent clusters in the
+    same block keep their WAN legs partition-internal, so only the
+    block borders synchronize.  Sizes differ by at most one.
+    """
+    if n_clusters < 1:
+        raise ValueError(f"need at least one cluster: {n_clusters}")
+    width = max(1, min(n_partitions, n_clusters))
+    base, extra = divmod(n_clusters, width)
+    blocks: List[Tuple[int, ...]] = []
+    start = 0
+    for i in range(width):
+        size = base + (1 if i < extra else 0)
+        blocks.append(tuple(range(start, start + size)))
+        start += size
+    return blocks
+
+
+def cluster_partition_map(blocks: Sequence[Sequence[int]]) -> Tuple[int, ...]:
+    """``cluster -> partition index`` lookup table from a block list."""
+    n = sum(len(b) for b in blocks)
+    owner = [-1] * n
+    for pi, block in enumerate(blocks):
+        for c in block:
+            owner[c] = pi
+    return tuple(owner)
+
+
+def pdes_ineligible_reason(app, n_clusters: int, *, scenario=None,
+                           decision=None,
+                           utilization: bool = False) -> Optional[str]:
+    """Why this run must stay single-process, or ``None`` if it may split.
+
+    Every reason names a feature whose cross-cluster behavior the
+    per-cluster cut cannot reproduce bit-identically; the single-process
+    engine stays the oracle for all of them.
+    """
+    if n_clusters < 2:
+        return "single-cluster topology has no WAN cut to partition on"
+    if not getattr(app, "pdes_capable", False):
+        return (f"{app.name} issues totally-ordered broadcasts or "
+                f"sequencer traffic, which fans out across every cluster")
+    from ...apps import ALL_APPS
+    if app.name not in ALL_APPS or type(app) is not ALL_APPS[app.name][0]:
+        return (f"{app.name!r} is not the registered application class, "
+                f"so partition workers cannot rebuild it")
+    if scenario is not None and scenario.faults:
+        return "scenario faults act on shared state across partitions"
+    if decision is not None:
+        return "a decision model may stripe WAN transfers across the cut"
+    if utilization:
+        return "utilization collection reads one shared fabric"
+    return None
+
+
+def wan_lookahead(network, scenario=None) -> float:
+    """Conservative lookahead for this network under this scenario.
+
+    Normally the WAN propagation latency: every cross-partition effect
+    rides a PVC, and nothing shortens propagation.  The ``jitter``
+    impairment is the one exception — its lognormal factor can dip
+    *below* 1, so an impaired delivery may undercut the nominal
+    latency; under jitter the lookahead collapses to 0 and the
+    partitions min-step in lockstep (slower, still exact).  The other
+    impairment models (loss, bw_dip, cross_traffic) only stretch
+    transmission or add retries, never shrink propagation.
+    """
+    if scenario is not None:
+        for imp in scenario.impairments:
+            if imp.model == "jitter":
+                return 0.0
+    return network.wan.latency

@@ -1,0 +1,249 @@
+"""PDES golden parity: partitioned runs vs the single-process oracle.
+
+The partitioned engine (:mod:`repro.sim.pdes`) must be *invisible* in
+the results: same elapsed virtual time, same answers, same app stats,
+same traffic totals, and the same trace records (merged across
+partitions and order-normalized — partitions interleave concurrently,
+so only the sorted record multiset is comparable, exactly like the
+``order-normalized`` contract in the broadcast golden suites).
+
+Every paper app runs through ``pdes="on"``: PDES-capable apps (SOR,
+RA — pure message-passing) actually partition; the rest exercise the
+transparent single-process fallback, which must be bit-identical by
+construction.  One known, bounded caveat is pinned by its own test:
+under impairments, two messages from *different* partitions can land
+on the same float instant at one gateway, and the serial engine breaks
+that FIFO tie by global heap insertion order — unreconstructible from
+inside any partition.  Aggregates stay bit-identical; only the
+per-message queueing attribution inside the tied instant may swap.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.apps import PAPER_ORDER, make_app, small_params
+from repro.harness.experiment import run_app
+from repro.scenario import Fault, Impairment, Scenario
+from repro.sim import SimulationError, Tracer
+
+TOPOLOGIES = [(1, 4), (2, 3), (4, 2)]
+
+#: The partitioned-capable subset (pure message-passing/RPC apps).
+PDES_APPS = [name for name in PAPER_ORDER
+             if make_app(name).pdes_capable]
+
+#: Process-lifecycle records differ by construction: each partition
+#: spawns only its own nodes' processes, and legacy-leg remote halves
+#: respawn in the owning partition.
+PROCESS_KINDS = ("proc.",)
+
+
+def _eq(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(a, b)
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_eq(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_eq(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+def _norm(records):
+    """Order-normalized trace multiset (partitions interleave freely)."""
+    return sorted(
+        (r.time, r.kind, tuple(sorted((k, repr(v))
+                               for k, v in r.detail.items())))
+        for r in records if not r.kind.startswith(PROCESS_KINDS))
+
+
+def _pair(app_name, variant, n_clusters, per, *, fast_paths=True,
+          scenario=None, workers=None):
+    """Run serial and partitioned; return both results and norm traces."""
+    params = small_params(app_name)
+    ts, tp = Tracer(), Tracer()
+    serial = run_app(make_app(app_name), variant, n_clusters, per, params,
+                     trace=True, tracer=ts, fast_paths=fast_paths,
+                     scenario=scenario, pdes="off")
+    pdes = run_app(make_app(app_name), variant, n_clusters, per, params,
+                   trace=True, tracer=tp, fast_paths=fast_paths,
+                   scenario=scenario, pdes="on",
+                   pdes_workers=workers or min(n_clusters, 4))
+    return serial, pdes, _norm(ts.records), _norm(tp.records)
+
+
+def _assert_parity(serial, pdes, ns, npd, label, traces=True):
+    assert serial.elapsed == pdes.elapsed, label
+    assert _eq(serial.answer, pdes.answer), label
+    assert serial.stats == pdes.stats, label
+    assert serial.traffic == pdes.traffic, label
+    if traces:
+        assert ns == npd, label
+
+
+@pytest.mark.parametrize("app_name", PAPER_ORDER)
+def test_pdes_parity_all_apps(app_name, capsys):
+    """Every app x topology: identical results (partitioned or fallback)."""
+    app = make_app(app_name)
+    variant = app.variants[0]
+    for n_clusters, per in TOPOLOGIES:
+        serial, pdes, ns, npd = _pair(app_name, variant, n_clusters, per)
+        _assert_parity(serial, pdes, ns, npd,
+                       f"{app_name}/{variant} {n_clusters}x{per}")
+        partitioned = pdes.sim_stats.get("pdes_partitions", 0) > 0
+        if app.pdes_capable and n_clusters >= 2:
+            assert partitioned, f"{app_name} {n_clusters}x{per} fell back"
+        else:
+            assert not partitioned
+            # Forced-on fallback is loud, never silent.
+            assert "cannot be partitioned" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("app_name", PDES_APPS)
+def test_pdes_parity_all_variants_legacy_tier(app_name):
+    """Capable apps, every variant, on the legacy process-per-leg fabric."""
+    for variant in make_app(app_name).variants:
+        serial, pdes, ns, npd = _pair(app_name, variant, 2, 3,
+                                      fast_paths=False)
+        _assert_parity(serial, pdes, ns, npd,
+                       f"{app_name}/{variant} 2x3 legacy")
+        assert pdes.sim_stats.get("pdes_partitions", 0) == 2
+
+
+def test_pdes_parity_scenario_impaired():
+    """An impaired cell (loss retries + timing shifts) stays bit-exact."""
+    scen = Scenario(seed=3, impairments=(Impairment.of("loss", p=0.05),))
+    serial, pdes, ns, npd = _pair("sor", "original", 2, 3, scenario=scen)
+    _assert_parity(serial, pdes, ns, npd, "sor loss 2x3")
+    assert pdes.sim_stats.get("pdes_partitions", 0) == 2
+
+
+def test_pdes_parity_scenario_jitter_zero_lookahead():
+    """Jitter can shrink WAN latency below nominal: lookahead drops to 0
+    and the protocol degrades to near-lockstep — still bit-exact."""
+    scen = Scenario(seed=5, impairments=(Impairment.of("jitter", sigma=0.2),))
+    serial, pdes, ns, npd = _pair("sor", "splitphase", 2, 3, scenario=scen)
+    _assert_parity(serial, pdes, ns, npd, "sor jitter 2x3")
+
+
+def test_pdes_impaired_degenerate_tie_aggregates():
+    """The documented caveat, pinned: impairments can collapse two
+    cross-partition arrivals onto one float instant at a gateway, where
+    the serial FIFO tie order is an artifact of global heap insertion.
+    Aggregates must still be bit-identical; the trace multiset may only
+    differ by attribution *within* tied instants (same record times)."""
+    scen = Scenario(seed=3, impairments=(Impairment.of("loss", p=0.05),))
+    serial, pdes, ns, npd = _pair("sor", "original", 4, 2, scenario=scen,
+                                  workers=4)
+    _assert_parity(serial, pdes, ns, npd, "sor loss 4x2", traces=False)
+    assert [r[0] for r in ns] == [r[0] for r in npd]  # same time profile
+    assert [r[1] for r in ns] == [r[1] for r in npd]  # same kind profile
+
+
+def test_pdes_stats_aggregation():
+    """Merged sim_stats cover all partitions plus the pdes counters."""
+    serial, pdes, _ns, _npd = _pair("sor", "original", 4, 2)
+    for key in ("events_processed", "processes_spawned"):
+        assert pdes.sim_stats[key] > serial.sim_stats[key] // 2
+    assert pdes.sim_stats["pdes_partitions"] == 4
+    assert pdes.sim_stats["pdes_epochs"] > 0
+    assert pdes.sim_stats["pdes_cross_messages"] > 0
+    assert pdes.sim_stats["pdes_acks"] > 0
+    assert pdes.sim_stats["pdes_blocked_s"] >= 0.0
+
+
+# ------------------------------------------------------------- fallback
+
+
+def test_pdes_single_cluster_falls_back(capsys):
+    res = run_app(make_app("sor"), "original", 1, 4, small_params("sor"),
+                  pdes="on")
+    assert "pdes_partitions" not in res.sim_stats
+    assert "cannot be partitioned" in capsys.readouterr().err
+
+
+def test_pdes_auto_declines_inside_sweep_pool(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_ACTIVE_JOBS", "8")
+    res = run_app(make_app("sor"), "original", 2, 3, small_params("sor"),
+                  pdes="auto")
+    assert "pdes_partitions" not in res.sim_stats
+    # auto is quiet — declining is policy, not an error.
+    assert capsys.readouterr().err == ""
+
+
+def test_pdes_faults_ineligible(capsys):
+    scen = Scenario(seed=1, faults=(
+        Fault.of("slow_node", at=0.01, duration=0.01, target="n0"),))
+    res = run_app(make_app("sor"), "original", 2, 3, small_params("sor"),
+                  scenario=scen, pdes="on")
+    assert "pdes_partitions" not in res.sim_stats
+    assert "cannot be partitioned" in capsys.readouterr().err
+
+
+def test_pdes_worker_errors_keep_their_type():
+    """An app error inside a partition worker surfaces as the same
+    exception type the serial engine raises (not a wrapped pdes error)."""
+    from repro.apps.sor.app import SORApp, SORParams
+    params = SORParams.small(n_rows=4, n_cols=8)  # < one row per proc
+    with pytest.raises(ValueError, match="one row per processor"):
+        run_app(SORApp(), "original", 2, 3, params, pdes="on",
+                pdes_workers=2)
+
+
+def test_pdes_unknown_mode_raises():
+    with pytest.raises(SimulationError, match="REPRO_PDES"):
+        run_app(make_app("sor"), "original", 2, 3, small_params("sor"),
+                pdes="sideways")
+
+
+def test_pdes_env_selection(monkeypatch):
+    monkeypatch.setenv("REPRO_PDES", "on")
+    res = run_app(make_app("sor"), "original", 2, 3, small_params("sor"),
+                  pdes_workers=2)
+    assert res.sim_stats.get("pdes_partitions", 0) == 2
+    monkeypatch.setenv("REPRO_PDES", "off")
+    res = run_app(make_app("sor"), "original", 2, 3, small_params("sor"))
+    assert "pdes_partitions" not in res.sim_stats
+
+
+# ------------------------------------------------------ engine tiers
+
+_TIER_SNIPPET = """
+import json, sys
+from repro.apps import make_app, small_params
+from repro.harness.experiment import run_app
+from repro.sim import Tracer
+
+tracer = Tracer()
+res = run_app(make_app("sor"), "original", 2, 3, small_params("sor"),
+              trace=True, tracer=tracer, pdes={pdes!r}, pdes_workers=2)
+norm = sorted((r.time, r.kind, tuple(sorted((k, repr(v))
+              for k, v in r.detail.items())))
+              for r in tracer.records if not r.kind.startswith("proc."))
+print(json.dumps({{"elapsed": res.elapsed, "n": len(norm),
+                   "digest": hash(tuple(map(str, norm))) & 0xffffffff}}))
+"""
+
+
+def _tier_run(engine, pdes):
+    env = dict(os.environ, REPRO_ENGINE=engine,
+               PYTHONHASHSEED="0")
+    out = subprocess.run(
+        [sys.executable, "-c", _TIER_SNIPPET.format(pdes=pdes)],
+        capture_output=True, text=True, env=env, check=True)
+    return json.loads(out.stdout)
+
+
+@pytest.mark.parametrize("engine", ["python", "compiled"])
+def test_pdes_parity_engine_tiers(engine):
+    if engine == "compiled":
+        from repro.sim._build import compiler_available
+        if not compiler_available():
+            pytest.skip("no C compiler: compiled tier unavailable")
+    serial = _tier_run(engine, "off")
+    pdes = _tier_run(engine, "on")
+    assert serial == pdes
