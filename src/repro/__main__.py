@@ -118,7 +118,9 @@ def _runner(args) -> ParallelRunner:
     trace, trace_dir = _trace_spec(args)
     return ParallelRunner(jobs=getattr(args, "jobs", None), cache=cache,
                           trace=trace, trace_dir=trace_dir,
-                          batch=getattr(args, "batch", None))
+                          batch=getattr(args, "batch", None),
+                          pdes=getattr(args, "pdes", None),
+                          pdes_workers=getattr(args, "pdes_workers", None))
 
 
 def cmd_list(_args) -> int:
@@ -224,6 +226,11 @@ def cmd_app(args) -> int:
                   f"{row['bytes'] / 1024:.0f} kbytes")
     if res.stats:
         print(f"  stats: {res.stats}")
+    if args.pdes in ("on", "auto"):
+        from .obs import format_pdes_summary
+        summary = format_pdes_summary(res.sim_stats or {})
+        if summary:
+            print(f"  {summary}")
     return 0
 
 
@@ -546,6 +553,16 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
                              "each listed kind (deterministic)")
 
 
+def _add_pdes_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pdes", choices=["off", "on", "auto"], default=None,
+                        help="partitioned (per-cluster) execution across "
+                             "host cores; identical results (default: "
+                             "the REPRO_PDES environment variable)")
+    parser.add_argument("--pdes-workers", type=int, default=None, metavar="N",
+                        help="partition worker count (default: one per "
+                             "cluster, capped at host cores)")
+
+
 def _add_bound_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ring", type=int, default=None, metavar="N",
                         help="keep only the last N trace records "
@@ -600,6 +617,7 @@ def main(argv=None) -> int:
                        default=list(QUICK_CPUS))
     p_fig.add_argument("--plot", action="store_true",
                        help="render as an ASCII chart")
+    _add_pdes_flags(p_fig)
     _add_sweep_flags(p_fig)
 
     p_app = sub.add_parser("app", help="run one application once")
@@ -610,13 +628,7 @@ def main(argv=None) -> int:
     p_app.add_argument("--decision", default=None, metavar="PATH",
                        help="install a tuned DecisionModel (JSON from "
                             "'repro tune --out'; default: fixed strategy)")
-    p_app.add_argument("--pdes", choices=["off", "on", "auto"], default=None,
-                       help="partitioned (per-cluster) execution across "
-                            "host cores; identical results (default: "
-                            "the REPRO_PDES environment variable)")
-    p_app.add_argument("--pdes-workers", type=int, default=None, metavar="N",
-                       help="partition worker count (default: one per "
-                            "cluster, capped at host cores)")
+    _add_pdes_flags(p_app)
     _add_sweep_flags(p_app)
 
     p_prof = sub.add_parser(

@@ -13,11 +13,11 @@ repo commits three small JSON files at its root:
   (fast tier, micro) plus whole-app runs/s (macro)
 * ``BENCH_collectives.json`` — collectives/s per tuner primitive (the
   shaped/striped WAN paths) plus the tuner probe loop
-* ``BENCH_pdes.json``   — whole-run throughput of the partitioned
-  engine next to the single-process oracle, plus the wall-clock
-  speedup and the ``host_cores`` geometry it was measured on (checked
-  metrics are the throughput floors; the speedup ratio is
-  geometry-dependent and stays informational)
+* ``BENCH_pdes.json``   — per-epoch protocol overhead of the
+  partitioned engine over the single-process oracle (µs/epoch,
+  lower-is-better: the check enforces a *ceiling*), plus informational
+  throughput, epoch counts, the wall-clock speedup and the
+  ``host_cores`` geometry it was measured on
 
 ``--suite`` accepts a suite name or ``suite:tier`` (e.g.
 ``engine:compiled``).  An *explicitly* requested suite or tier that has
@@ -186,14 +186,17 @@ def measure_pdes(repeat: int = 3) -> dict:
 
 
 def _flat_pdes(results: dict) -> Dict[str, float]:
-    """Throughput floors only: the speedup ratio and core count depend
-    on the measuring host's geometry, so they ride along unchecked."""
+    """Per-epoch protocol overhead only (µs/epoch, lower-is-better).
+
+    Raw throughput, the speedup ratio and the core count depend on the
+    measuring host's geometry, so they ride along unchecked; overhead
+    per epoch is the one number that isolates the synchronization
+    protocol from the work the oracle does anyway."""
     flat = {}
     for name, entry in results.items():
         if not isinstance(entry, dict):
             continue  # host_cores and other scalars: informational
-        flat[f"{name}/serial"] = entry["serial_runs_per_s"]
-        flat[f"{name}/pdes"] = entry["pdes_runs_per_s"]
+        flat[f"{name}/overhead_us_per_epoch"] = entry["overhead_us_per_epoch"]
     return flat
 
 
@@ -226,6 +229,15 @@ SUITES: Dict[str, Tuple[pathlib.Path, Callable[[int], dict],
 #: suites whose baseline JSON has one section per tier (``suite:tier``
 #: requests are only meaningful for these).
 TIERED_SUITES = ("engine",)
+
+#: metric-name suffixes that measure a *cost* rather than a throughput:
+#: for these the check enforces a ceiling (``base * (1 + threshold)``)
+#: instead of a floor, and a drop is an improvement.
+LOWER_IS_BETTER_SUFFIXES = ("overhead_us_per_epoch",)
+
+
+def _lower_is_better(name: str) -> bool:
+    return name.endswith(LOWER_IS_BETTER_SUFFIXES)
 
 
 def parse_suite_request(request: str) -> Tuple[List[str], Optional[str]]:
@@ -329,6 +341,16 @@ def check_baselines(repeat: int, threshold: float, suites: Sequence[str],
             if cur is None:
                 failures.append(f"{suite}/{name}: missing from current run")
                 rows.append((suite, name, base, None, "MISSING"))
+                continue
+            if _lower_is_better(name):
+                ceiling = base * (1.0 + threshold)
+                status = "ok" if cur <= ceiling else "REGRESSION"
+                rows.append((suite, name, base, cur, status))
+                if cur > ceiling:
+                    failures.append(
+                        f"{suite}/{name}: {cur} is {cur / base - 1:.0%} "
+                        f"above baseline {base} (lower is better, "
+                        f"threshold {threshold:.0%})")
                 continue
             floor = base * (1.0 - threshold)
             status = "ok" if cur >= floor else "REGRESSION"

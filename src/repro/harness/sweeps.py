@@ -270,13 +270,24 @@ class ParallelRunner:
     ``{app}-{variant}-{C}x{N}-{key8}.trace.json`` (and then dropped from
     the in-memory result, so a big sweep never holds every trace at
     once); the paths accumulate on ``trace_files``.
+
+    ``pdes`` (with optional ``pdes_workers``) applies the partitioned
+    execution mode to every spec that does not already pin one — the
+    same mirror pattern as ``trace``.  PDES runs are bit-identical to
+    single-process runs, so cache identities are unchanged; points that
+    execute serially in this process additionally *reuse* the forked
+    PDES worker pool across consecutive grid points of the same
+    topology (see :func:`repro.sim.pdes.shutdown_pool`), so a figure
+    sweep pays the fork cost once per geometry, not once per point.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  trace: Optional[TraceSpec] = None,
                  trace_dir: Optional[str] = None,
-                 batch: Optional[int] = None):
+                 batch: Optional[int] = None,
+                 pdes: Optional[str] = None,
+                 pdes_workers: Optional[int] = None):
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.cache = cache
         self.trace = trace
@@ -288,6 +299,8 @@ class ParallelRunner:
         #: the pool so pickle/IPC overhead is amortized while each
         #: worker still sees several dispatches for load balance.
         self.batch = batch if batch is None else max(1, int(batch))
+        self.pdes = pdes
+        self.pdes_workers = pdes_workers
         self.trace_files: List[str] = []
         self.hits = 0      # cache hits over this runner's lifetime
         self.computed = 0  # specs actually simulated
@@ -305,6 +318,13 @@ class ParallelRunner:
         if self.trace is not None:
             specs = [dataclasses.replace(spec, trace=self.trace)
                      if spec.trace is None else spec for spec in specs]
+        if self.pdes is not None:
+            specs = [dataclasses.replace(
+                         spec, pdes=self.pdes,
+                         pdes_workers=spec.pdes_workers
+                         if spec.pdes_workers is not None
+                         else self.pdes_workers)
+                     if spec.pdes is None else spec for spec in specs]
         results: List[Optional[AppResult]] = [None] * len(specs)
         # Group uncached work by content key so duplicates run once.
         # The trace spec rides along in the dedup key: a traced and an

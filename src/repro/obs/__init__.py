@@ -47,6 +47,7 @@ from .profile import (
     PROFILE_KINDS,
     BottleneckReport,
     format_bottleneck,
+    format_pdes_summary,
     format_profile_diff,
     format_profile_table,
     profile_app,
@@ -89,6 +90,7 @@ __all__ = [
     "PROFILE_KINDS",
     "BottleneckReport",
     "format_bottleneck",
+    "format_pdes_summary",
     "format_profile_diff",
     "format_profile_table",
     "profile_app",

@@ -30,19 +30,30 @@ import os
 
 from ..engine import SimulationError
 from .boundary import EpochBreak, PartitionBoundary
-from .coordinator import WorkerSpec, compute_caps, run_app_pdes, run_epoch
-from .plan import (cluster_partition_map, partition_clusters,
-                   pdes_ineligible_reason, wan_lookahead)
+from .channel import (CAPACITY_ENV, CHANNEL_ENV, PipeChannel, ShmChannel,
+                      ShmRing, channel_kind)
+from .coordinator import (WorkerSpec, compute_caps, run_app_pdes, run_epoch,
+                          shutdown_pool)
+from .plan import (channel_capacity, cluster_partition_map,
+                   partition_clusters, pdes_ineligible_reason, wan_lookahead)
 
 __all__ = [
     "PDES_ENV",
+    "CHANNEL_ENV",
+    "CAPACITY_ENV",
     "pdes_mode",
     "EpochBreak",
     "PartitionBoundary",
+    "ShmRing",
+    "ShmChannel",
+    "PipeChannel",
+    "channel_kind",
+    "channel_capacity",
     "WorkerSpec",
     "compute_caps",
     "run_epoch",
     "run_app_pdes",
+    "shutdown_pool",
     "partition_clusters",
     "cluster_partition_map",
     "pdes_ineligible_reason",

@@ -33,6 +33,19 @@ messages/acks into the next epoch's injections.  A worker's own
 injection before its clock — the conservative guarantee is asserted on
 every delivery, not assumed.
 
+**The sync fast lane** (see :mod:`.channel`): grants and reports cross
+per-partition shared-memory rings as struct-packed blocks — the setup
+pipe carries only run dispatch, the final payload, and errors — and
+the coordinator runs the cap algebra every round but only *delivers* a
+grant to partitions that can act on it.  A partition is skipped when
+its inbox is empty and its cap is at or below its own frontier (and it
+does not own ``gmin``): granting it would route nothing, release no
+held arrival, and dispatch no event, so eliding the round-trip leaves
+the worker's state bit-identical and the next grant it does receive
+subsumes every elided epoch — a multi-epoch cap.  Workers are pooled:
+the forked processes persist across runs of the same width and
+transport, so a figure sweep re-synchronizes instead of re-forking.
+
 Determinism: partitions allocate the same per-site message/request ids
 as the single-process run, impairment randomness is drawn from
 per-(model, directed pair) substreams, and every cross-partition
@@ -44,6 +57,7 @@ independent partitions (invisible in any record field) may differ.
 
 from __future__ import annotations
 
+import atexit
 import math
 import multiprocessing as mp
 import pickle
@@ -54,25 +68,32 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..engine import SimulationError, Simulator
 from ..trace import TraceSpec
+from . import channel
 from .boundary import EpochBreak, PartitionBoundary
-from .plan import cluster_partition_map, partition_clusters, wan_lookahead
+from .plan import (channel_capacity, cluster_partition_map,
+                   partition_clusters, wan_lookahead)
 
-__all__ = ["WorkerSpec", "compute_caps", "run_app_pdes", "run_epoch"]
+__all__ = ["WorkerSpec", "compute_caps", "run_app_pdes", "run_epoch",
+           "shutdown_pool"]
 
 INF = float("inf")
 
 
 # --------------------------------------------------------------- protocol
 #
-# Parent -> worker:  ("epoch", cap_or_None, gmin, [items])
-#                    then ("finish",)
-# Worker -> parent:  ("ready", next_time)
-#                    ("report", clock, next_time, outbox, pending)
-#                    ("final", payload_dict)
-#                    ("error", formatted_traceback)    (any state, fatal)
+# Setup pipe (per worker, long-lived across runs):
+#   Parent -> worker:  ("run", WorkerSpec)          start one simulation
+#   Worker -> parent:  ("ready", next_time)         stack built
+#                      ("final", payload_dict)      after a FINISH grant
+#                      ("error", tb, exc_or_None)   any state, fatal
 #
-# Routed items (built by PartitionBoundary.export / export_ack; index 3
-# is always the item's virtual time, which compute_caps relies on):
+# Fast lane (per worker, packed blocks — see channel.py):
+#   Parent -> worker:  GRANT(cap_or_inf, gmin, sections) | FINISH
+#   Worker -> parent:  REPORT(clock, frontier, pendings, sections)
+#
+# Routed items inside sections (built by PartitionBoundary.export /
+# export_ack; index 3 is always the item's virtual time, which
+# compute_caps relies on via the section's min_time):
 #   ("msg", dst_partition, Message, arrival, path)
 #   ("ack", dst_partition, msg_id, t_deposit)
 
@@ -118,11 +139,37 @@ def compute_caps(neff: Sequence[float], reals: Sequence[float],
     mutually-waiting partitions pin each other's caps below the very
     chains that produce the deposits.  Pure, so the safety properties
     are directly property-testable.
+
+    ``min_{j != i} neff_j`` is computed from the two smallest values
+    (the minimum, unless ``i`` is its only holder, else the runner-up)
+    — one pass instead of a scan per partition; this runs every epoch
+    on the coordinator's critical path.
     """
     width = len(neff)
+    m1 = INF        # smallest neff
+    m1_count = 0    # how many partitions attain it
+    m2 = INF        # smallest neff over the rest
+    no_floors = True
+    for v in neff:
+        if v < m1:
+            m1, m2, m1_count = v, m1, 1
+        elif v == m1:
+            m1_count += 1
+        elif v < m2:
+            m2 = v
+    for p in pendings:
+        if p:
+            no_floors = False
+            break
+    if no_floors:
+        e1 = m1 + lookahead
+        e2 = m2 + lookahead
+        lone = m1_count == 1
+        return [e2 if (lone and neff[i] == m1) else e1
+                for i in range(width)]
     caps = []
     for i in range(width):
-        others = min((neff[j] for j in range(width) if j != i), default=INF)
+        others = m2 if (neff[i] == m1 and m1_count == 1) else m1
         cap = others + lookahead
         for owing, floor in pendings[i]:
             cap = min(cap, max(floor, reals[owing]))
@@ -191,27 +238,47 @@ def run_epoch(sim, boundary: PartitionBoundary, cap: Optional[float],
 
 # ----------------------------------------------------------------- worker
 
-def _worker_main(conn, spec: WorkerSpec) -> None:
-    try:
-        _worker_run(conn, spec)
-    except BaseException as exc:
-        # Ship the exception object itself when it pickles: the
-        # coordinator then re-raises the app's real error (the serial
-        # engine lets a ValueError out of ``register`` surface as a
-        # ValueError, and partitioning must not change that contract).
+def _worker_loop(chan, part_id: int) -> None:
+    """Pooled worker body: one forked process, many runs.
+
+    Each ``("run", spec)`` on the setup pipe drives one full
+    simulation; the per-run state (message/request id counters, the
+    whole simulator stack) is rebuilt from the spec exactly as a fresh
+    process would — running many simulations in one process is the
+    same invariant the test suite and the sweep pool already rely on.
+    A worker that fails ships the error and exits; the coordinator
+    then retires the whole pool.
+    """
+    chan.w_setup()
+    conn = chan.wconn
+    while True:
         try:
-            pickle.dumps(exc)
-        except Exception:
-            exc = None
+            cmd = conn.recv()
+        except (EOFError, OSError):
+            return
+        if not isinstance(cmd, tuple) or cmd[0] != "run":
+            return
         try:
-            conn.send(("error", traceback.format_exc(), exc))
-        except Exception:
-            pass
-    finally:
-        conn.close()
+            _worker_run(conn, chan, cmd[1])
+        except BaseException as exc:
+            # Ship the exception object itself when it pickles: the
+            # coordinator then re-raises the app's real error (the
+            # serial engine lets a ValueError out of ``register``
+            # surface as a ValueError, and partitioning must not
+            # change that contract).
+            try:
+                pickle.dumps(exc)
+            except Exception:
+                exc = None
+            try:
+                conn.send(("error", traceback.format_exc(), exc))
+            except Exception:
+                pass
+            chan.w_post_error()
+            return
 
 
-def _worker_run(conn, spec: WorkerSpec) -> None:
+def _worker_run(conn, chan, spec: WorkerSpec) -> None:
     # Deferred imports: the worker is forked, so these are usually
     # already loaded; top-level imports here would cycle (apps -> orca
     # -> sim -> pdes).
@@ -258,22 +325,31 @@ def _worker_run(conn, spec: WorkerSpec) -> None:
 
     conn.send(("ready", sim.next_time()))
     blocked = 0.0
+    # Hot-path bindings: this loop turns over once per granted epoch.
+    perf = time.perf_counter
+    w_recv, w_send = chan.w_recv, chan.w_send
+    decode_grant = channel.decode_grant
+    encode_report = channel.encode_report
+    encode_sections = channel.encode_sections
     while True:
-        t0 = time.perf_counter()
-        cmd = conn.recv()
-        blocked += time.perf_counter() - t0
-        if cmd[0] == "finish":
+        t0 = perf()
+        block = w_recv()
+        blocked += perf() - t0
+        kind, cap, gmin, incoming = decode_grant(block)
+        if kind == channel.FINISH:
             break
-        _tag, cap, gmin, incoming = cmd
-        boundary.receive(incoming)
+        if incoming:
+            boundary.receive(incoming)
         boundary.flush(cap, gmin)
         run_epoch(sim, boundary, cap, gmin)
         frontier = sim.next_time()
         held = boundary.held_min()
         if frontier is None or (held is not None and held < frontier):
             frontier = held
-        conn.send(("report", sim.now, frontier,
-                   boundary.drain_outbox(), boundary.pending()))
+        outbox = boundary.drain_outbox()
+        w_send(encode_report(
+            sim.now, frontier, boundary.pending(),
+            encode_sections(outbox) if outbox else ()))
 
     # Same post-run checks as run_app, reported instead of raised: the
     # coordinator re-raises with the partition attached.
@@ -309,49 +385,114 @@ def _worker_run(conn, spec: WorkerSpec) -> None:
 # ------------------------------------------------------------ coordinator
 
 class _WorkerPool:
-    """Forked partition workers with a pipe each; kills on error paths."""
+    """Persistent forked partition workers, one channel each.
 
-    def __init__(self, specs: Sequence[WorkerSpec]):
+    Forked once per (width, transport, capacity) and reused across
+    runs: ``repro figure`` grid points and bench repeats of the same
+    topology re-synchronize over the existing channels instead of
+    re-forking the whole stack.  Any error retires the pool (the
+    failing worker has exited; the rest are terminated).
+    """
+
+    def __init__(self, width: int, kind: str, capacity: int):
         ctx = mp.get_context("fork")
-        self.conns = []
+        self.width = width
+        self.kind = kind
+        self.capacity = capacity
+        self.chans = [channel.make_channel(kind, ctx, capacity)
+                      for _ in range(width)]
         self.procs = []
-        for spec in specs:
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(target=_worker_main, args=(child, spec),
+        for i, chan in enumerate(self.chans):
+            proc = ctx.Process(target=_worker_loop, args=(chan, i),
                                daemon=True)
             proc.start()
-            child.close()
-            self.conns.append(parent)
+            chan.p_setup()
             self.procs.append(proc)
+        self.runs = 0
 
-    def recv(self, i: int, want: str):
+    def alive(self) -> bool:
+        return all(proc.is_alive() for proc in self.procs)
+
+    def start(self, specs: Sequence[WorkerSpec]) -> None:
+        self.runs += 1
+        for chan, spec in zip(self.chans, specs):
+            chan.conn.send(("run", spec))
+
+    def _recv_pipe(self, i: int, want: str):
+        conn = self.chans[i].conn
+        while not conn.poll(0.5):
+            if not self.procs[i].is_alive():
+                self.chans[i]._died(self.procs[i], i)
         try:
-            msg = self.conns[i].recv()
+            msg = conn.recv()
         except EOFError:
-            raise SimulationError(
-                f"pdes: partition {i} worker died without reporting")
+            self.chans[i]._died(self.procs[i], i)
         if msg[0] == "error":
-            exc = msg[2] if len(msg) > 2 else None
-            if exc is not None:
-                raise exc  # the app's own error, same type as serial
-            raise SimulationError(
-                f"pdes: partition {i} worker failed:\n{msg[1]}")
+            channel._raise_worker_error(msg, i)
         if msg[0] != want:
             raise SimulationError(
                 f"pdes: partition {i} protocol error: "
                 f"expected {want!r}, got {msg[0]!r}")
         return msg
 
+    def recv_ready(self, i: int):
+        return self._recv_pipe(i, "ready")[1]
+
+    def recv_final(self, i: int) -> dict:
+        return self._recv_pipe(i, "final")[1]
+
+    def channel_totals(self) -> Tuple[int, int]:
+        """Lifetime (bytes, overflows) across every channel — callers
+        snapshot before/after a run for per-run numbers."""
+        return (sum(c.bytes_out + c.bytes_in for c in self.chans),
+                sum(c.overflows for c in self.chans))
+
     def close(self) -> None:
-        for conn in self.conns:
-            try:
-                conn.close()
-            except Exception:
-                pass
+        for chan in self.chans:
+            chan.close()
         for proc in self.procs:
             if proc.is_alive():
                 proc.terminate()
             proc.join(timeout=5)
+
+
+_POOL: Optional[_WorkerPool] = None
+
+
+def _acquire_pool(width: int, kind: str, capacity: int) -> _WorkerPool:
+    """The module-level pool singleton, re-forked only when the
+    geometry, transport, or ring capacity changes (or a worker died)."""
+    global _POOL
+    if _POOL is not None and not (
+            _POOL.width == width and _POOL.kind == kind
+            and _POOL.capacity == capacity and _POOL.alive()):
+        _POOL.close()
+        _POOL = None
+    if _POOL is None:
+        _POOL = _WorkerPool(width, kind, capacity)
+    return _POOL
+
+
+def _release_pool(pool: _WorkerPool, ok: bool) -> None:
+    """Return the pool after a run: keep it on success, retire on error
+    (a failed worker has exited mid-protocol; nothing is resumable)."""
+    global _POOL
+    if ok and pool is _POOL and pool.alive():
+        return
+    pool.close()
+    if pool is _POOL:
+        _POOL = None
+
+
+def shutdown_pool() -> None:
+    """Terminate the persistent worker pool (idempotent; also atexit)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.close()
+        _POOL = None
+
+
+atexit.register(shutdown_pool)
 
 
 def run_app_pdes(app, variant: str, n_clusters: int, nodes_per_cluster: int,
@@ -402,28 +543,43 @@ def run_app_pdes(app, variant: str, n_clusters: int, nodes_per_cluster: int,
         scenario=scenario, trace=trace_spec, lookahead=lookahead)
         for pi, block in enumerate(blocks)]
 
-    pool = _WorkerPool(specs)
+    pool = _acquire_pool(
+        width, channel.channel_kind(),
+        channel.channel_capacity(channel_capacity(width, topo.n_nodes)))
     epochs = 0
+    round_trips = 0
+    coalesced = 0
     cross_msgs = 0
     cross_acks = 0
+    bytes0, over0 = pool.channel_totals()
+    ok = False
     try:
+        pool.start(specs)
         clocks = [0.0] * width
         nexts: List[Optional[float]] = []
         pendings: List[List[Tuple[int, float]]] = [[] for _ in range(width)]
-        inboxes: List[List[tuple]] = [[] for _ in range(width)]
+        inboxes: List[List[channel.Section]] = [[] for _ in range(width)]
+        inbox_min = [INF] * width       # min over queued sections' times
         for i in range(width):
-            _tag, nt = pool.recv(i, "ready")
-            nexts.append(nt)
+            nexts.append(pool.recv_ready(i))
 
         stall = 0
+        # Hot-path bindings: this loop turns over once per epoch.
+        sends = [chan.send for chan in pool.chans]
+        recvs = [chan.recv for chan in pool.chans]
+        procs = pool.procs
+        encode_grant = channel.encode_grant
+        decode_report = channel.decode_report
+        part_range = range(width)
+        neff = [INF] * width        # per-round scratch, reused
+        reals = [INF] * width
         while True:
-            neff = []
-            reals = []
-            for i in range(width):
-                v = nexts[i] if nexts[i] is not None else INF
-                for item in inboxes[i]:
-                    v = min(v, item[3])
-                reals.append(v)
+            for i in part_range:
+                nx = nexts[i]
+                v = nx if nx is not None else INF
+                if inbox_min[i] < v:
+                    v = inbox_min[i]
+                reals[i] = v
                 # A partition awaiting an ack is not inert: the deposit
                 # wakes it at >= its floor, from where it can emit with
                 # arrival >= floor + lookahead — so for capping *others*
@@ -433,8 +589,9 @@ def run_app_pdes(app, variant: str, n_clusters: int, nodes_per_cluster: int,
                 # wake-generated events are always >= the real minimum
                 # (the deposit is produced by real chain events).
                 for _owing, floor in pendings[i]:
-                    v = min(v, floor)
-                neff.append(v)
+                    if floor < v:
+                        v = floor
+                neff[i] = v
             gmin = min(reals)
             if gmin == INF:
                 if any(pendings):
@@ -444,26 +601,50 @@ def run_app_pdes(app, variant: str, n_clusters: int, nodes_per_cluster: int,
                 break
             caps = compute_caps(neff, reals, pendings, lookahead)
             epochs += 1
-            for i in range(width):
+            # Quiescence coalescing: deliver the grant only where it
+            # can matter.  With an empty inbox, a finite cap at or
+            # below the partition's own frontier (reals includes its
+            # held arrivals), and no claim on gmin, the grant would
+            # route nothing, release nothing from the holding pen, and
+            # dispatch no event — a provable no-op, so the round-trip
+            # is elided and the partition's next grant carries a cap
+            # that subsumes every elided epoch.  The gmin owner is
+            # never skipped (liveness), and a dry partition
+            # (reals == inf) only runs when its cap is unbounded.
+            active = [i for i in part_range
+                      if inboxes[i] or caps[i] == INF
+                      or (reals[i] != INF
+                          and (caps[i] > reals[i] or reals[i] == gmin))]
+            round_trips += len(active)
+            coalesced += width - len(active)
+            for i in active:
                 cap = None if caps[i] == INF else caps[i]
-                pool.conns[i].send(("epoch", cap, gmin, inboxes[i]))
-                inboxes[i] = []
+                inbox = inboxes[i]
+                if inbox:
+                    sends[i](encode_grant(
+                        cap, gmin, [sec.raw for sec in inbox]))
+                    inboxes[i] = []
+                    inbox_min[i] = INF
+                else:
+                    sends[i](encode_grant(cap, gmin, ()))
             routed = 0
             moved = False
-            for i in range(width):
-                _tag, clock, nt, outbox, pending = pool.recv(i, "report")
+            for i in active:
+                block = recvs[i](procs[i], i)
+                clock, nt, pending, sections = decode_report(block)
                 moved = moved or clock != clocks[i] or nt != nexts[i] \
                     or pending != pendings[i]
                 clocks[i] = clock
                 nexts[i] = nt
                 pendings[i] = pending
-                for item in outbox:
-                    inboxes[item[1]].append(item)
-                    routed += 1
-                    if item[0] == "msg":
-                        cross_msgs += 1
-                    else:
-                        cross_acks += 1
+                for sec in sections:
+                    dst = sec.dst
+                    inboxes[dst].append(sec)
+                    if sec.min_time < inbox_min[dst]:
+                        inbox_min[dst] = sec.min_time
+                    routed += sec.n_msgs + sec.n_acks
+                    cross_msgs += sec.n_msgs
+                    cross_acks += sec.n_acks
             # Belt-and-braces against protocol bugs: some partition must
             # advance or transfer something every epoch (the min-N one
             # always can).  Several idle epochs in a row mean the cap
@@ -477,10 +658,14 @@ def run_app_pdes(app, variant: str, n_clusters: int, nodes_per_cluster: int,
 
         finals = [None] * width
         for i in range(width):
-            pool.conns[i].send(("finish",))
-            finals[i] = pool.recv(i, "final")[1]
+            pool.chans[i].send(channel.encode_finish())
+        for i in range(width):
+            finals[i] = pool.recv_final(i)
+        ok = True
     finally:
-        pool.close()
+        _release_pool(pool, ok)
+
+    bytes1, over1 = pool.channel_totals()
 
     for payload in finals:
         if payload["failure"]:
@@ -530,6 +715,10 @@ def run_app_pdes(app, variant: str, n_clusters: int, nodes_per_cluster: int,
             sim_stats[key] = sim_stats.get(key, 0) + val
     sim_stats["pdes_partitions"] = width
     sim_stats["pdes_epochs"] = epochs
+    sim_stats["pdes_round_trips"] = round_trips
+    sim_stats["pdes_coalesced_round_trips"] = coalesced
+    sim_stats["pdes_channel_bytes"] = bytes1 - bytes0
+    sim_stats["pdes_channel_overflows"] = over1 - over0
     sim_stats["pdes_cross_messages"] = cross_msgs
     sim_stats["pdes_acks"] = cross_acks
     sim_stats["pdes_epoch_breaks"] = sum(

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 __all__ = [
     "partition_clusters",
     "cluster_partition_map",
+    "channel_capacity",
     "pdes_ineligible_reason",
     "wan_lookahead",
 ]
@@ -58,6 +59,22 @@ def cluster_partition_map(blocks: Sequence[Sequence[int]]) -> Tuple[int, ...]:
         for c in block:
             owner[c] = pi
     return tuple(owner)
+
+
+def channel_capacity(n_partitions: int, n_nodes: int) -> int:
+    """Fast-lane ring bytes per direction for this geometry.
+
+    A grant must hold one round's worth of routed sections for one
+    partition; traffic scales with the node count (every node's border
+    exchange can land in one epoch), so wide topologies (the 64-cluster
+    demo) get proportionally bigger rings.  The figure is a planning
+    *default* — ``REPRO_PDES_CHANNEL_CAP`` overrides it, and a block
+    that still outgrows the ring falls back to the pipe, loudly, with
+    no correctness impact (see :mod:`.channel`).
+    """
+    from .channel import DEFAULT_CAPACITY
+
+    return max(DEFAULT_CAPACITY, 2048 * n_nodes)
 
 
 def pdes_ineligible_reason(app, n_clusters: int, *, scenario=None,

@@ -202,6 +202,32 @@ def test_default_cache_dir_env(monkeypatch, tmp_path):
 # ------------------------------------------------------- traced sweeps
 
 
+def test_runner_pdes_default_mirrors_trace():
+    """A runner-level pdes mode applies to specs that don't pin one,
+    results stay bit-identical to the plain run, and consecutive grid
+    points of one topology reuse the forked partition pool."""
+    from repro.sim.pdes import coordinator, shutdown_pool
+
+    specs = [RunSpec("sor", variant, 2, 3, small_params("sor"))
+             for variant in ("original", "optimized")]
+    plain = ParallelRunner(jobs=1, cache=None).run(specs)
+    shutdown_pool()
+    try:
+        runner = ParallelRunner(jobs=1, cache=None, pdes="on",
+                                pdes_workers=2)
+        part = runner.run(specs)
+        _same_results(plain, part)
+        assert all(r.sim_stats["pdes_partitions"] == 2 for r in part)
+        pool = coordinator._POOL
+        assert pool is not None and pool.runs == len(specs)
+        # A spec that pins its own mode wins over the runner default.
+        pinned = runner.run([RunSpec("sor", "original", 2, 3,
+                                     small_params("sor"), pdes="off")])[0]
+        assert "pdes_partitions" not in pinned.sim_stats
+    finally:
+        shutdown_pool()
+
+
 def test_trace_spec_is_excluded_from_the_cache_key():
     from repro.sim import TraceSpec
 

@@ -144,16 +144,88 @@ def test_pdes_impaired_degenerate_tie_aggregates():
     assert [r[1] for r in ns] == [r[1] for r in npd]  # same kind profile
 
 
-def test_pdes_stats_aggregation():
+def test_pdes_stats_aggregation(monkeypatch):
     """Merged sim_stats cover all partitions plus the pdes counters."""
+    # Geometry-sized rings never overflow on this workload; drop any
+    # ambient capacity override so the zero-overflow assertion holds.
+    monkeypatch.delenv("REPRO_PDES_CHANNEL_CAP", raising=False)
     serial, pdes, _ns, _npd = _pair("sor", "original", 4, 2)
     for key in ("events_processed", "processes_spawned"):
         assert pdes.sim_stats[key] > serial.sim_stats[key] // 2
-    assert pdes.sim_stats["pdes_partitions"] == 4
-    assert pdes.sim_stats["pdes_epochs"] > 0
-    assert pdes.sim_stats["pdes_cross_messages"] > 0
-    assert pdes.sim_stats["pdes_acks"] > 0
-    assert pdes.sim_stats["pdes_blocked_s"] >= 0.0
+    ss = pdes.sim_stats
+    assert ss["pdes_partitions"] == 4
+    assert ss["pdes_epochs"] > 0
+    assert ss["pdes_cross_messages"] > 0
+    assert ss["pdes_acks"] > 0
+    assert ss["pdes_blocked_s"] >= 0.0
+    # Fast-lane accounting: every epoch costs at most one round-trip
+    # per partition; quiescence coalescing elides the rest; the packed
+    # blocks all flow through the counted channels.
+    assert 0 < ss["pdes_round_trips"] <= ss["pdes_epochs"] * 4
+    assert ss["pdes_coalesced_round_trips"] \
+        == ss["pdes_epochs"] * 4 - ss["pdes_round_trips"]
+    assert ss["pdes_channel_bytes"] > 0
+    assert ss["pdes_channel_overflows"] == 0
+    assert ss["pdes_epoch_breaks"] >= 0
+
+
+def test_pdes_summary_line():
+    """The counters condense to the one-line ``repro app`` summary."""
+    from repro.obs import format_pdes_summary
+    _serial, pdes, _ns, _npd = _pair("sor", "original", 2, 3)
+    line = format_pdes_summary(pdes.sim_stats)
+    assert line.startswith("pdes: 2 partitions,")
+    assert "round-trips" in line and "coalesced" in line
+    assert format_pdes_summary({"events_processed": 5}) is None
+
+
+# ----------------------------------------------------- transport variants
+
+
+def test_pdes_parity_pipe_transport(monkeypatch):
+    """The REPRO_PDES_CHANNEL=pipe escape hatch: same packed blocks over
+    the setup pipe, still record-for-record identical to the oracle."""
+    monkeypatch.setenv("REPRO_PDES_CHANNEL", "pipe")
+    serial, pdes, ns, npd = _pair("sor", "original", 2, 3)
+    _assert_parity(serial, pdes, ns, npd, "sor 2x3 pipe")
+    assert pdes.sim_stats["pdes_partitions"] == 2
+    assert pdes.sim_stats["pdes_channel_bytes"] > 0
+
+
+def test_pdes_parity_tiny_ring_overflow(monkeypatch):
+    """A ring far too small for real blocks forces the loud pipe
+    fallback on nearly every transfer — results stay bit-identical and
+    the overflows are counted."""
+    monkeypatch.setenv("REPRO_PDES_CHANNEL", "shm")  # overflow is shm-only
+    monkeypatch.setenv("REPRO_PDES_CHANNEL_CAP", "64")
+    serial, pdes, ns, npd = _pair("sor", "original", 2, 3)
+    _assert_parity(serial, pdes, ns, npd, "sor 2x3 cap=64")
+    assert pdes.sim_stats["pdes_channel_overflows"] > 0
+
+
+def test_pdes_pool_reuse_same_topology():
+    """Consecutive runs of one topology reuse the forked worker pool
+    (same PIDs, run counter advances); a different width re-forks."""
+    from repro.sim.pdes import coordinator, shutdown_pool
+    shutdown_pool()
+    try:
+        run_app(make_app("sor"), "original", 2, 3, small_params("sor"),
+                pdes="on", pdes_workers=2)
+        pool = coordinator._POOL
+        assert pool is not None and pool.width == 2
+        pids = [p.pid for p in pool.procs]
+        runs = pool.runs
+        run_app(make_app("sor"), "optimized", 2, 3, small_params("sor"),
+                pdes="on", pdes_workers=2)
+        assert coordinator._POOL is pool
+        assert [p.pid for p in pool.procs] == pids
+        assert pool.runs == runs + 1
+        run_app(make_app("sor"), "original", 4, 2, small_params("sor"),
+                pdes="on", pdes_workers=4)
+        assert coordinator._POOL is not pool
+        assert coordinator._POOL.width == 4
+    finally:
+        shutdown_pool()
 
 
 # ------------------------------------------------------------- fallback

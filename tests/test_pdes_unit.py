@@ -329,3 +329,95 @@ def test_never_delivers_early(model):
     else:
         pytest.fail("model did not drain in 200 rounds (liveness)")
     assert all(not q for q in queues)
+
+
+def _run_epoch_model(model, skip):
+    """The abstract model again, now with coordinator-style routing:
+    emissions land in per-partition *inboxes* and reach the destination
+    with its next grant, exactly like the real section routing.  With
+    ``skip`` the grant/report round-trip is elided for partitions the
+    quiescence rule marks inert; without it every partition is granted
+    every round.  Returns the processed-event sequence and final clocks.
+    """
+    width, lookahead, events, emissions = model
+    queues = [list(ts) for ts in events]
+    inboxes = [[] for _ in range(width)]    # routed, not yet granted
+    clocks = [0.0] * width
+    emit_plan = {}
+    for src, idx, dst, extra in emissions:
+        if dst != src:
+            emit_plan.setdefault((src, idx), (dst, extra))
+    counts = [0] * width
+    processed = []
+
+    for _round in range(300):
+        reals = [min(queues[i][0] if queues[i] else INF,
+                     min(inboxes[i], default=INF))
+                 for i in range(width)]
+        gmin = min(reals)
+        if gmin == INF:
+            return processed, clocks
+        caps = compute_caps(reals, reals, [[] for _ in range(width)],
+                            lookahead)
+        if skip:
+            active = [i for i in range(width)
+                      if inboxes[i] or caps[i] == INF
+                      or (reals[i] != INF
+                          and (caps[i] > reals[i] or reals[i] == gmin))]
+        else:
+            active = list(range(width))
+        outbox = []
+        for i in active:
+            for arrival in inboxes[i]:      # the grant delivers the inbox
+                q = queues[i]
+                lo = 0
+                while lo < len(q) and q[lo] <= arrival:
+                    lo += 1
+                q.insert(lo, arrival)
+            inboxes[i] = []
+            bound = max(caps[i], gmin)
+            ebound = INF
+            while queues[i]:
+                nxt = queues[i][0]
+                if nxt >= ebound:
+                    break
+                if not (nxt < bound or nxt == gmin):
+                    break
+                t = queues[i].pop(0)
+                assert t >= clocks[i], "delivered into the past"
+                clocks[i] = t
+                processed.append((i, t))
+                plan = emit_plan.get((i, counts[i]))
+                counts[i] += 1
+                if plan is not None:
+                    dst, extra = plan
+                    arrival = t + lookahead + extra
+                    ebound = min(ebound, arrival + lookahead)
+                    outbox.append((dst, arrival))
+        for dst, arrival in outbox:         # reports route after the round
+            inboxes[dst].append(arrival)
+    pytest.fail("model did not drain in 300 rounds (liveness)")
+
+
+@settings(max_examples=200, deadline=None)
+@given(traffic_models())
+def test_quiescence_skip_equals_full_protocol(model):
+    """The coalescing rule elides only provable no-ops: running the
+    same traffic with every partition granted every round and with the
+    real quiescence skip produces the identical processed-event
+    sequence and final clocks — a skipped report is never one the
+    protocol needed.  (Weakening the rule — e.g. dropping the gmin
+    clause — makes hypothesis find a stalled or diverging schedule.)
+
+    Runs each model twice more with the lookahead collapsed to 0 — the
+    jitter-impairment degenerate where partitions min-step in lockstep.
+    That is the one regime where the gmin clause is load-bearing: with
+    any positive lookahead, the gmin owner's cap strictly exceeds its
+    frontier anyway, and a skip rule missing the clause would look
+    correct."""
+    width, lookahead, events, emissions = model
+    for la in (lookahead, 0.0):
+        m = (width, la, events, emissions)
+        full = _run_epoch_model(m, skip=False)
+        skipped = _run_epoch_model(m, skip=True)
+        assert full == skipped
